@@ -1,0 +1,143 @@
+// Command experiments regenerates the paper's tables and figures as text
+// output. By default it runs every experiment at medium scale; flags select
+// individual experiments and scales.
+//
+// Usage:
+//
+//	experiments [-scale small|medium|full] [-only table1,fig5,fig6,sb,table2,table3,fig7,fig8,fig9,fig10,ablation,meanings,times]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"domainnet/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "dataset scale: small, medium or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment list (default: all)")
+	seedFlag := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "medium":
+		scale = experiments.ScaleMedium
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+	seed := *seedFlag
+
+	if run("table1") {
+		section("Table 1")
+		fmt.Print(experiments.RenderTable1(experiments.Table1(scale)))
+	}
+	if run("fig5") || run("fig6") {
+		section("Figures 5 and 6 (SB rankings)")
+		fmt.Print(experiments.Figures56(seed).Render())
+	}
+	if run("sb") {
+		section("§5.1 SB comparison vs D4")
+		fmt.Print(experiments.SBComparison(seed).Render())
+	}
+	if run("table2") {
+		section("Table 2")
+		res, err := experiments.Table2(experiments.DefaultInjection(scale), nil)
+		exitOn(err)
+		fmt.Print(res.Render())
+	}
+	if run("table3") {
+		section("Table 3")
+		cfg := experiments.DefaultInjection(scale)
+		res, err := experiments.Table3(cfg, nil, -1)
+		exitOn(err)
+		fmt.Print(res.Render())
+	}
+	if run("fig7") {
+		section("Figure 7 and §5.3 top-10 (TUS)")
+		fmt.Print(experiments.Figure7(experiments.TUSConfigFor(scale), samplesFor(scale), seed).Render())
+	}
+	if run("fig8") {
+		section("Figure 8 (approximation quality vs samples)")
+		sizes := []int{125, 250, 500, 1000, 2000}
+		if scale == experiments.ScaleSmall {
+			sizes = []int{50, 100, 200, 400}
+		}
+		fmt.Print(experiments.Figure8(experiments.TUSConfigFor(scale), sizes, scale != experiments.ScaleFull, seed).Render())
+	}
+	if run("fig9") {
+		section("Figure 9 (scalability on NYC-scale subgraphs)")
+		nycScale := map[experiments.Scale]float64{
+			experiments.ScaleSmall:  0.01,
+			experiments.ScaleMedium: 0.05,
+			experiments.ScaleFull:   1.0,
+		}[scale]
+		res := experiments.Figure9(nycScale, nil, 0.01, seed)
+		fmt.Print(res.Render())
+		fmt.Printf("linear fit R^2 = %.3f (paper: runtime linear in edges)\n", res.LinearFitR2())
+	}
+	if run("fig10") {
+		section("Figure 10 (impact of homographs on D4)")
+		counts := []int{50, 100, 150, 200}
+		if scale == experiments.ScaleSmall {
+			counts = []int{4, 8, 12}
+		} else if scale == experiments.ScaleMedium {
+			counts = []int{25, 50, 75, 100}
+		}
+		res, err := experiments.Figure10(experiments.TUSConfigFor(scale), counts, nil, seed)
+		exitOn(err)
+		fmt.Print(res.Render())
+	}
+	if run("ablation") {
+		section("Measure ablation (extensions)")
+		fmt.Print(experiments.RenderMeasureAblation(experiments.MeasureAblation(seed)))
+	}
+	if run("meanings") {
+		section("Meaning discovery (§6 extension)")
+		fmt.Print(experiments.MeaningDiscovery(seed).Render())
+	}
+	if run("times") {
+		section("Construction and LCC timings (§5.4)")
+		fmt.Print(experiments.RenderConstruction(experiments.ConstructionTimes(scale)))
+	}
+}
+
+// samplesFor picks the approximate-BC sample count per scale (§5.4: ~1% of
+// nodes approximates the exact ranking well).
+func samplesFor(scale experiments.Scale) int {
+	switch scale {
+	case experiments.ScaleSmall:
+		return 400
+	case experiments.ScaleFull:
+		return 5000
+	default:
+		return 1000
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

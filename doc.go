@@ -1,0 +1,5 @@
+// Package bench anchors the repository root and hosts the benchmark harness
+// (bench_test.go) that regenerates every table and figure of the paper's
+// evaluation. The library itself lives under internal/; binaries under cmd/;
+// runnable examples under examples/.
+package bench

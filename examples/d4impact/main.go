@@ -1,0 +1,48 @@
+// D4-impact example: §5.5 in miniature. Homographs are not only a retrieval
+// nuisance — they degrade downstream semantic-integration tasks. This
+// example runs the D4 domain-discovery baseline over a clean lake and over
+// variants with increasing numbers of injected homographs, showing the
+// discovered-domain count drift upward (the paper's Figure 10).
+//
+// Run with: go run ./examples/d4impact
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"domainnet/internal/d4"
+	"domainnet/internal/datagen"
+	"domainnet/internal/union"
+)
+
+func main() {
+	cfg := datagen.SmallTUS()
+	cfg.Homographs = 0
+	base := datagen.TUS(cfg).RemoveHomographs()
+
+	baseline := d4.Run(base.Attrs, d4.Config{})
+	fmt.Printf("clean lake: D4 finds %d domains (%d union classes in ground truth)\n",
+		baseline.NumDomains(), base.NumClasses())
+	fmt.Printf("covered columns: %d/%d, max domains per column: %d\n\n",
+		baseline.CoveredColumns, baseline.TotalColumns, baseline.MaxDomainsPerColumn)
+
+	fmt.Println("meanings  injected  domains  max/col  avg/col")
+	for _, meanings := range []int{2, 4, 6} {
+		for _, count := range []int{10, 20, 30, 40} {
+			inj, err := base.Inject(union.InjectOptions{
+				Count:    count,
+				Meanings: meanings,
+				Seed:     int64(100*meanings + count),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := d4.Run(inj.GT.Attrs, d4.Config{})
+			fmt.Printf("%8d  %8d  %7d  %7d  %7.3f\n",
+				meanings, count, res.NumDomains(), res.MaxDomainsPerColumn, res.AvgDomainsPerColumn)
+		}
+	}
+	fmt.Println("\nDomain counts grow with injected homographs: cleaning homographs first")
+	fmt.Println("(e.g. with DomainNet) protects domain discovery, as §5.5 argues.")
+}

@@ -1,0 +1,61 @@
+// Datalake example: the full CSV-directory workflow on the synthetic
+// benchmark (SB). The example materializes SB as a directory of CSV files —
+// the shape a real data lake has on disk — loads it back, runs homograph
+// detection with both measures, and evaluates against ground truth.
+//
+// Run with: go run ./examples/datalake
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/eval"
+	"domainnet/internal/lake"
+)
+
+func main() {
+	// Generate SB and write it out as 13 CSV files.
+	sb := datagen.NewSB(1)
+	dir := filepath.Join(os.TempDir(), "domainnet-sb-example")
+	if err := sb.Lake.SaveDir(dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d tables to %s\n", sb.Lake.NumTables(), dir)
+
+	// Load it back the way a user would load their own lake.
+	loaded, err := lake.LoadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded lake: %s\n\n", loaded.Stats())
+
+	truth := sb.HomographSet()
+	k := len(sb.Homographs)
+
+	// Betweenness centrality: the recommended measure.
+	bc := domainnet.New(loaded, domainnet.Config{Measure: domainnet.BetweennessExact})
+	bcMetrics := eval.AtK(bc.Ranking(), truth, k)
+	fmt.Printf("betweenness:  P@%d = %.3f\n", k, bcMetrics.Precision)
+
+	fmt.Println("\ntop-15 homograph candidates (betweenness):")
+	for i, s := range bc.TopK(15) {
+		label := ""
+		if truth[s.Value] {
+			label = "  (true homograph)"
+		}
+		fmt.Printf("%4d  %-14s %.5f%s\n", i+1, s.Value, s.Score, label)
+	}
+
+	// The cheap local measure for comparison; the paper's Figure 5 shows it
+	// separates poorly.
+	lcc := domainnet.New(loaded, domainnet.Config{Measure: domainnet.LCC})
+	lccMetrics := eval.AtK(lcc.Ranking(), truth, k)
+	fmt.Printf("\nlcc (ascending): P@%d = %.3f — weaker, as in Figure 5\n", k, lccMetrics.Precision)
+
+	_ = os.RemoveAll(dir)
+}

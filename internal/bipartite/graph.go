@@ -1,0 +1,271 @@
+// Package bipartite implements the DomainNet graph (paper §3.2): an
+// undirected bipartite graph whose nodes are the distinct data values and
+// the attributes (table columns) of a data lake, with an edge between a
+// value node and an attribute node whenever the value occurs in the column.
+//
+// The graph is stored in compressed sparse row (CSR) form so that the BFS
+// passes of betweenness centrality stream through memory; the node count of
+// real lakes (the NYC dataset has ~1.5M nodes, ~2.3M edges) makes pointer-
+// chasing adjacency lists needlessly slow.
+//
+// Node numbering: value nodes occupy [0, NumValues), attribute nodes occupy
+// [NumValues, NumValues+NumAttrs). An optional third range of row nodes
+// supports the tripartite ablation discussed in §3.2 ("Tables to Graph").
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+
+	"domainnet/internal/lake"
+)
+
+// Graph is an undirected CSR graph over value, attribute and (optionally)
+// row nodes. It is immutable after construction.
+type Graph struct {
+	values []string // value node id -> normalized value
+	attrs  []string // attribute node id - NumValues() -> attribute ID
+	nRows  int      // number of row nodes (tripartite variant only)
+
+	offsets []int64 // len NumNodes()+1
+	adj     []int32 // concatenated sorted neighbor lists
+
+	valueIndex map[string]int32
+}
+
+// NumValues reports the number of value nodes.
+func (g *Graph) NumValues() int { return len(g.values) }
+
+// NumAttrs reports the number of attribute nodes.
+func (g *Graph) NumAttrs() int { return len(g.attrs) }
+
+// NumRows reports the number of row nodes (zero for the bipartite form).
+func (g *Graph) NumRows() int { return g.nRows }
+
+// NumNodes reports the total node count.
+func (g *Graph) NumNodes() int { return len(g.values) + len(g.attrs) + g.nRows }
+
+// NumEdges reports the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// IsValue reports whether node u is a value node.
+func (g *Graph) IsValue(u int32) bool { return int(u) < len(g.values) }
+
+// IsAttr reports whether node u is an attribute node.
+func (g *Graph) IsAttr(u int32) bool {
+	return int(u) >= len(g.values) && int(u) < len(g.values)+len(g.attrs)
+}
+
+// Value returns the normalized data value of value node u.
+// It panics if u is not a value node.
+func (g *Graph) Value(u int32) string {
+	if !g.IsValue(u) {
+		panic(fmt.Sprintf("bipartite: node %d is not a value node", u))
+	}
+	return g.values[u]
+}
+
+// AttrID returns the attribute identifier of attribute node u.
+// It panics if u is not an attribute node.
+func (g *Graph) AttrID(u int32) string {
+	if !g.IsAttr(u) {
+		panic(fmt.Sprintf("bipartite: node %d is not an attribute node", u))
+	}
+	return g.attrs[int(u)-len(g.values)]
+}
+
+// ValueNode returns the node id of a normalized value, if present.
+func (g *Graph) ValueNode(value string) (int32, bool) {
+	id, ok := g.valueIndex[value]
+	return id, ok
+}
+
+// AttrNode returns the node id of the i-th attribute (0-based, in the order
+// attributes were presented to the builder).
+func (g *Graph) AttrNode(i int) int32 { return int32(len(g.values) + i) }
+
+// Neighbors returns the sorted neighbor list of node u. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(u int32) []int32 {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// Degree reports the number of neighbors of node u.
+func (g *Graph) Degree(u int32) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Values returns the normalized values of all value nodes, indexed by node
+// id. The slice aliases internal storage and must not be modified.
+func (g *Graph) Values() []string { return g.values }
+
+// Options configure graph construction.
+type Options struct {
+	// KeepSingletons retains value nodes whose total cell count across the
+	// lake is one. The paper drops such values during pre-processing (§5):
+	// a value occurring once cannot be a homograph. Values occurring twice
+	// within a single column are kept (they yield degree-1 value nodes),
+	// matching the node/edge counts the paper reports for SB.
+	KeepSingletons bool
+}
+
+// FromLake builds the DomainNet bipartite graph of a lake.
+func FromLake(l *lake.Lake, opts Options) *Graph {
+	return FromAttributes(l.Attributes(), opts)
+}
+
+// FromAttributes builds the graph from an explicit attribute list. Each
+// attribute's Values must be distinct and normalized (lake.Attributes
+// guarantees this).
+func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
+	// First pass: total cell count per value (a nil Freqs counts one cell
+	// per attribute occurrence).
+	occ := make(map[string]int64, 1024)
+	for i := range attrs {
+		for j, v := range attrs[i].Values {
+			f := int64(1)
+			if attrs[i].Freqs != nil {
+				f = int64(attrs[i].Freqs[j])
+			}
+			occ[v] += f
+		}
+	}
+
+	// Assign ids to (retained) values in deterministic (sorted) order.
+	retained := make([]string, 0, len(occ))
+	for v, c := range occ {
+		if opts.KeepSingletons || c >= 2 {
+			retained = append(retained, v)
+		}
+	}
+	sort.Strings(retained)
+	valueIndex := make(map[string]int32, len(retained))
+	for i, v := range retained {
+		valueIndex[v] = int32(i)
+	}
+
+	nVal := len(retained)
+	nAttr := len(attrs)
+	n := nVal + nAttr
+
+	// Degree counting pass.
+	deg := make([]int64, n+1)
+	for ai := range attrs {
+		a := int32(nVal + ai)
+		for _, v := range attrs[ai].Values {
+			vi, ok := valueIndex[v]
+			if !ok {
+				continue
+			}
+			deg[vi+1]++
+			deg[a+1]++
+		}
+	}
+	offsets := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	next := make([]int64, n)
+	copy(next, offsets[:n])
+	attrIDs := make([]string, nAttr)
+	for ai := range attrs {
+		attrIDs[ai] = attrs[ai].ID
+		a := int32(nVal + ai)
+		for _, v := range attrs[ai].Values {
+			vi, ok := valueIndex[v]
+			if !ok {
+				continue
+			}
+			adj[next[vi]] = a
+			next[vi]++
+			adj[next[a]] = vi
+			next[a]++
+		}
+	}
+	g := &Graph{
+		values:     retained,
+		attrs:      attrIDs,
+		offsets:    offsets,
+		adj:        adj,
+		valueIndex: valueIndex,
+	}
+	g.sortAdjacency()
+	return g
+}
+
+func (g *Graph) sortAdjacency() {
+	for u := 0; u < g.NumNodes(); u++ {
+		nb := g.adj[g.offsets[u]:g.offsets[u+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+}
+
+// CheckBipartite verifies that no edge connects two nodes of the same class
+// (value-value, attr-attr, or row-row). It is used by tests and returns a
+// descriptive error on the first violation.
+func (g *Graph) CheckBipartite() error {
+	class := func(u int32) int {
+		switch {
+		case g.IsValue(u):
+			return 0
+		case g.IsAttr(u):
+			return 1
+		default:
+			return 2
+		}
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		cu := class(u)
+		for _, v := range g.Neighbors(u) {
+			if class(v) == cu {
+				return fmt.Errorf("bipartite: edge between same-class nodes %d and %d (class %d)", u, v, cu)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSymmetric verifies that every directed arc has its reverse, i.e. the
+// CSR encodes an undirected graph.
+func (g *Graph) CheckSymmetric() error {
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.hasEdge(v, u) {
+				return fmt.Errorf("bipartite: arc %d->%d has no reverse", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) hasEdge(u, v int32) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// ValueNeighbors returns the distinct value nodes that co-occur with value
+// node u in at least one attribute — the N(u) of paper §3.2 — excluding u
+// itself. The result is sorted.
+func (g *Graph) ValueNeighbors(u int32) []int32 {
+	seen := make(map[int32]struct{})
+	for _, a := range g.Neighbors(u) {
+		for _, w := range g.Neighbors(a) {
+			if w != u {
+				seen[w] = struct{}{}
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Cardinality returns |N(u)|, the number of distinct values co-occurring
+// with value node u (paper §3.2). This is the "cardinality of a homograph"
+// reported in Table 1.
+func (g *Graph) Cardinality(u int32) int { return len(g.ValueNeighbors(u)) }

@@ -1,0 +1,154 @@
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+
+	"domainnet/internal/lake"
+	"domainnet/internal/table"
+)
+
+// FromLakeWithRows builds the tripartite variant discussed in §3.2 ("Tables
+// to Graph"): in addition to value–attribute edges, every table row gets a
+// row node connected to the values appearing in that row. The paper reports
+// that row context did not help homograph detection; this builder exists so
+// the ablation benchmark can demonstrate that finding.
+func FromLakeWithRows(l *lake.Lake, opts Options) *Graph {
+	attrs := l.Attributes()
+	base := FromAttributes(attrs, opts)
+
+	// Map attribute ID -> attribute node id for row wiring.
+	attrNode := make(map[string]int32, len(attrs))
+	for i := range attrs {
+		attrNode[attrs[i].ID] = base.AttrNode(i)
+	}
+
+	// Collect row -> value-node edges.
+	type edge struct{ row, val int32 }
+	var edges []edge
+	nRows := 0
+	for _, t := range l.Tables() {
+		rows := t.NumRows()
+		for r := 0; r < rows; r++ {
+			rowNode := int32(base.NumNodes() + nRows)
+			touched := false
+			seen := make(map[int32]struct{})
+			for ci := range t.Columns {
+				if r >= len(t.Columns[ci].Values) {
+					continue
+				}
+				v := table.Normalize(t.Columns[ci].Values[r])
+				if table.IsMissing(v) {
+					continue
+				}
+				vi, ok := base.valueIndex[v]
+				if !ok {
+					continue // value dropped as a singleton
+				}
+				if _, dup := seen[vi]; dup {
+					continue
+				}
+				seen[vi] = struct{}{}
+				edges = append(edges, edge{rowNode, vi})
+				touched = true
+			}
+			if touched {
+				nRows++
+			} else {
+				// Row contributed nothing; do not allocate a node for it.
+			}
+		}
+	}
+
+	// Rebuild CSR with the extra row range appended.
+	n := base.NumNodes() + nRows
+	deg := make([]int64, n+1)
+	for u := int32(0); int(u) < base.NumNodes(); u++ {
+		deg[u+1] = int64(base.Degree(u))
+	}
+	for _, e := range edges {
+		deg[e.row+1]++
+		deg[e.val+1]++
+	}
+	offsets := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	next := make([]int64, n)
+	copy(next, offsets[:n])
+	for u := int32(0); int(u) < base.NumNodes(); u++ {
+		for _, v := range base.Neighbors(u) {
+			adj[next[u]] = v
+			next[u]++
+		}
+	}
+	for _, e := range edges {
+		adj[next[e.row]] = e.val
+		next[e.row]++
+		adj[next[e.val]] = e.row
+		next[e.val]++
+	}
+	g := &Graph{
+		values:     base.values,
+		attrs:      base.attrs,
+		nRows:      nRows,
+		offsets:    offsets,
+		adj:        adj,
+		valueIndex: base.valueIndex,
+	}
+	g.sortAdjacency()
+	return g
+}
+
+// rng is the minimal source of randomness Subgraph needs; *rand.Rand
+// satisfies it. Declaring the interface here keeps math/rand out of the
+// package API surface.
+type rng interface {
+	Intn(n int) int
+}
+
+// Subgraph extracts a random attribute-seeded subgraph with approximately
+// targetEdges edges, following the procedure of the paper's footnote 9:
+// repeatedly pick a random attribute node, add it together with all its
+// value nodes, and stop once the subgraph reaches the requested size. Value
+// nodes keep only edges to included attributes.
+func (g *Graph) Subgraph(targetEdges int, r rng) *Graph {
+	if g.nRows != 0 {
+		panic("bipartite: Subgraph is defined for the bipartite form only")
+	}
+	if targetEdges <= 0 {
+		panic(fmt.Sprintf("bipartite: non-positive targetEdges %d", targetEdges))
+	}
+	nAttr := g.NumAttrs()
+	chosen := make(map[int]struct{})
+	edges := 0
+	for edges < targetEdges && len(chosen) < nAttr {
+		ai := r.Intn(nAttr)
+		if _, ok := chosen[ai]; ok {
+			continue
+		}
+		chosen[ai] = struct{}{}
+		edges += g.Degree(g.AttrNode(ai))
+	}
+
+	// Collect the induced attribute list and rebuild through FromAttributes
+	// to reuse the (tested) CSR construction path.
+	attrs := make([]lake.Attribute, 0, len(chosen))
+	order := make([]int, 0, len(chosen))
+	for ai := range chosen {
+		order = append(order, ai)
+	}
+	sort.Ints(order)
+	for _, ai := range order {
+		a := g.AttrNode(ai)
+		vals := make([]string, 0, g.Degree(a))
+		for _, v := range g.Neighbors(a) {
+			vals = append(vals, g.Value(v))
+		}
+		attrs = append(attrs, lake.Attribute{ID: g.AttrID(a), Values: vals})
+	}
+	// Keep singletons: dropping them here would shrink the subgraph below
+	// the requested edge budget and distort the scalability measurements.
+	return FromAttributes(attrs, Options{KeepSingletons: true})
+}

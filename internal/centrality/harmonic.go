@@ -1,0 +1,85 @@
+package centrality
+
+import "math/rand"
+
+// Harmonic computes harmonic (closeness-family) centrality: for each node u
+// the sum of 1/d(u,v) over all other nodes, which handles disconnected
+// lakes gracefully (unreachable pairs contribute zero). It is not part of
+// the paper's method — homographs are bridges, not hubs — and exists as an
+// additional ablation baseline alongside Degree.
+func Harmonic(g Graph) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	touched := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		for _, u := range touched {
+			dist[u] = 0
+		}
+		queue = queue[:0]
+		dist[s] = 1 // +1 offset; 0 means unvisited
+		queue = append(queue, int32(s))
+		sum := 0.0
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if v != int32(s) {
+				sum += 1.0 / float64(dist[v]-1)
+			}
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		touched = append(touched[:0], queue...)
+		out[s] = sum
+	}
+	return out
+}
+
+// ApproxHarmonic estimates harmonic centrality from a uniform sample of BFS
+// sources, scaled by n/s; used when the exact O(n·m) pass is too expensive.
+func ApproxHarmonic(g Graph, samples int, seed int64) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if samples <= 0 {
+		panic("centrality: ApproxHarmonic requires samples > 0")
+	}
+	if samples >= n {
+		return Harmonic(g)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	touched := make([]int32, 0, n)
+	scale := float64(n) / float64(samples)
+	for i := 0; i < samples; i++ {
+		s := int32(perm[i])
+		for _, u := range touched {
+			dist[u] = 0
+		}
+		queue = queue[:0]
+		dist[s] = 1
+		queue = append(queue, s)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if v != s {
+				// Harmonic centrality is symmetric on undirected graphs:
+				// crediting the *target* with 1/d from a sampled source
+				// estimates the same sum.
+				out[v] += scale / float64(dist[v]-1)
+			}
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		touched = append(touched[:0], queue...)
+	}
+	return out
+}

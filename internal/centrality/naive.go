@@ -1,0 +1,86 @@
+package centrality
+
+// NaiveBetweenness computes exact betweenness by the definition (paper
+// Eq. 2): for every ordered pair (s,t) and every intermediate node u,
+// σ_st(u)/σ_st where σ_st(u) = σ_su·σ_ut when u lies on a shortest s–t path.
+// It materializes all-pairs distances and path counts, costing O(n·m) time
+// and O(n²) space, and — crucially for its role as a test oracle — shares no
+// code with Brandes' dependency accumulation.
+func NaiveBetweenness(g Graph, opts BCOptions) []float64 {
+	n := g.NumNodes()
+	dist := make([][]int32, n)
+	sigma := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		dist[s], sigma[s] = bfsCounts(g, int32(s))
+	}
+
+	endpointOK := func(u int) bool {
+		if !opts.EndpointsValuesOnly {
+			return true
+		}
+		return u < opts.ValueNodeCount
+	}
+
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if !endpointOK(s) {
+			continue
+		}
+		for t := 0; t < n; t++ {
+			if t == s || !endpointOK(t) || dist[s][t] < 0 {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if u == s || u == t || dist[s][u] < 0 || dist[u][t] < 0 {
+					continue
+				}
+				if dist[s][u]+dist[u][t] == dist[s][t] {
+					bc[u] += sigma[s][u] * sigma[u][t] / sigma[s][t]
+				}
+			}
+		}
+	}
+	if opts.Normalized {
+		normalize(bc, n)
+	}
+	return bc
+}
+
+// bfsCounts returns shortest-path distances (-1 when unreachable) and path
+// counts from source s.
+func bfsCounts(g Graph, s int32) ([]int32, []float64) {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma := make([]float64, n)
+	dist[s] = 0
+	sigma[s] = 1
+	queue := []int32{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+			if dist[w] == dist[v]+1 {
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+	return dist, sigma
+}
+
+// Degree returns the degree of every node, the cheapest possible centrality
+// baseline used in the ablation benchmarks.
+func Degree(g Graph) []float64 {
+	n := g.NumNodes()
+	d := make([]float64, n)
+	for u := 0; u < n; u++ {
+		d[u] = float64(len(g.Neighbors(int32(u))))
+	}
+	return d
+}

@@ -1,0 +1,142 @@
+package community
+
+// Attribute clustering: the type-level community view. Label propagation
+// finds fine-grained graph communities, but two columns of the same semantic
+// type that share only a modest slice of a large vocabulary legitimately
+// form separate graph communities — which over-counts a homograph's
+// meanings. Clustering attribute nodes by value-set overlap (the same
+// signal D4 uses for domains) recovers the semantic-type granularity the
+// paper's "a community represents a meaning" intuition refers to.
+
+// AttrClustering assigns every attribute node to a type cluster.
+type AttrClustering struct {
+	// ClusterOf maps attribute index (0..NumAttrs-1, i.e. node id minus
+	// NumValues) to a compact cluster id.
+	ClusterOf []int32
+	// NumClusters is the number of distinct clusters.
+	NumClusters int
+}
+
+// ClusterAttributes groups attributes whose value sets overlap: two
+// attributes land in one cluster when they share at least minIntersection
+// values and the overlap coefficient |A∩B|/min(|A|,|B|) reaches minOverlap.
+// Non-positive arguments select the defaults 0.15 and 2 (see the rationale
+// in internal/d4).
+func ClusterAttributes(g BipartiteGraph, minOverlap float64, minIntersection int) *AttrClustering {
+	if minOverlap <= 0 {
+		minOverlap = 0.15
+	}
+	if minIntersection <= 0 {
+		minIntersection = 2
+	}
+	nVal := g.NumValues()
+	nAttr := g.NumNodes() - nVal
+
+	parent := make([]int32, nAttr)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Candidate pairs come from shared values; very common values (null
+	// markers, strong homographs) are skipped for pair generation just like
+	// D4's robust signatures discount them.
+	type pair struct{ a, b int32 }
+	tried := make(map[pair]struct{})
+	for u := 0; u < nVal; u++ {
+		attrs := g.Neighbors(int32(u))
+		if len(attrs) < 2 || len(attrs) > 64 {
+			continue
+		}
+		for x := 0; x < len(attrs); x++ {
+			for y := x + 1; y < len(attrs); y++ {
+				a := attrs[x] - int32(nVal)
+				b := attrs[y] - int32(nVal)
+				p := pair{a, b}
+				if _, done := tried[p]; done {
+					continue
+				}
+				tried[p] = struct{}{}
+				if attrOverlapOK(g, attrs[x], attrs[y], minOverlap, minIntersection) {
+					union(a, b)
+				}
+			}
+		}
+	}
+
+	out := &AttrClustering{ClusterOf: make([]int32, nAttr)}
+	compact := make(map[int32]int32)
+	for i := int32(0); int(i) < nAttr; i++ {
+		root := find(i)
+		id, ok := compact[root]
+		if !ok {
+			id = int32(len(compact))
+			compact[root] = id
+		}
+		out.ClusterOf[i] = id
+	}
+	out.NumClusters = len(compact)
+	return out
+}
+
+// attrOverlapOK merges two sorted value-node neighbor lists and checks the
+// clustering criteria.
+func attrOverlapOK(g BipartiteGraph, a, b int32, minOverlap float64, minIntersection int) bool {
+	na, nb := g.Neighbors(a), g.Neighbors(b)
+	if len(na) == 0 || len(nb) == 0 {
+		return false
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(na) && j < len(nb) {
+		switch {
+		case na[i] < nb[j]:
+			i++
+		case na[i] > nb[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	if inter < minIntersection {
+		return false
+	}
+	m := len(na)
+	if len(nb) < m {
+		m = len(nb)
+	}
+	return float64(inter)/float64(m) >= minOverlap
+}
+
+// MeaningCounts estimates the number of distinct meanings of every value
+// node as the number of distinct attribute clusters it occurs in.
+func (c *AttrClustering) MeaningCounts(g BipartiteGraph) []int {
+	nVal := g.NumValues()
+	out := make([]int, nVal)
+	seen := make(map[int32]struct{})
+	for u := 0; u < nVal; u++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, a := range g.Neighbors(int32(u)) {
+			seen[c.ClusterOf[a-int32(nVal)]] = struct{}{}
+		}
+		out[u] = len(seen)
+	}
+	return out
+}

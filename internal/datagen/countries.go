@@ -1,0 +1,137 @@
+package datagen
+
+// countryNames lists 193 country names for the SB countries table (§4.1:
+// "we used the real numbers of countries and US states of 193 and 50").
+var countryNames = []string{
+	"Afghanistan", "Albania", "Algeria", "Andorra", "Angola",
+	"Antigua and Barbuda", "Argentina", "Armenia", "Australia", "Austria",
+	"Azerbaijan", "Bahamas", "Bahrain", "Bangladesh", "Barbados", "Belarus",
+	"Belgium", "Belize", "Benin", "Bhutan", "Bolivia",
+	"Bosnia and Herzegovina", "Botswana", "Brazil", "Brunei", "Bulgaria",
+	"Burkina Faso", "Burundi", "Cabo Verde", "Cambodia", "Cameroon", "Canada",
+	"Central African Republic", "Chad", "Chile", "China", "Colombia",
+	"Comoros", "Congo", "Costa Rica", "Croatia", "Cuba", "Cyprus", "Czechia",
+	"Denmark", "Djibouti", "Dominica", "Dominican Republic", "East Timor",
+	"Ecuador", "Egypt", "El Salvador", "Equatorial Guinea", "Eritrea",
+	"Estonia", "Eswatini", "Ethiopia", "Fiji", "Finland", "France", "Gabon",
+	"Gambia", "Georgia", "Germany", "Ghana", "Greece", "Grenada", "Guatemala",
+	"Guinea", "Guinea-Bissau", "Guyana", "Haiti", "Honduras", "Hungary",
+	"Iceland", "India", "Indonesia", "Iran", "Iraq", "Ireland", "Israel",
+	"Italy", "Ivory Coast", "Jamaica", "Japan", "Jordan", "Kazakhstan",
+	"Kenya", "Kiribati", "Kosovo", "Kuwait", "Kyrgyzstan", "Laos", "Latvia",
+	"Lebanon", "Lesotho", "Liberia", "Libya", "Liechtenstein", "Lithuania",
+	"Luxembourg", "Madagascar", "Malawi", "Malaysia", "Maldives", "Mali",
+	"Malta", "Marshall Islands", "Mauritania", "Mauritius", "Mexico",
+	"Micronesia", "Moldova", "Monaco", "Mongolia", "Montenegro", "Morocco",
+	"Mozambique", "Myanmar", "Namibia", "Nauru", "Nepal", "Netherlands",
+	"New Zealand", "Nicaragua", "Niger", "Nigeria", "North Korea",
+	"North Macedonia", "Norway", "Oman", "Pakistan", "Palau", "Panama",
+	"Papua New Guinea", "Paraguay", "Peru", "Philippines", "Poland",
+	"Portugal", "Qatar", "Romania", "Russia", "Rwanda", "Saint Kitts and Nevis",
+	"Saint Lucia", "Saint Vincent", "Samoa", "San Marino",
+	"Sao Tome and Principe", "Saudi Arabia", "Senegal", "Serbia", "Seychelles",
+	"Sierra Leone", "Singapore", "Slovakia", "Slovenia", "Solomon Islands",
+	"Somalia", "South Africa", "South Korea", "South Sudan", "Spain",
+	"Sri Lanka", "Sudan", "Suriname", "Sweden", "Switzerland", "Syria",
+	"Taiwan", "Tajikistan", "Tanzania", "Thailand", "Togo", "Tonga",
+	"Trinidad and Tobago", "Tunisia", "Turkey", "Turkmenistan", "Tuvalu",
+	"Uganda", "Ukraine", "United Arab Emirates", "United Kingdom",
+	"United States", "Uruguay", "Uzbekistan", "Vanuatu", "Vatican City",
+	"Venezuela", "Vietnam", "Yemen", "Zambia", "Zimbabwe", "Saint Barthelemy",
+	"Martinique", "Reunion", "Guam", "French Polynesia",
+}
+
+// plantedCountryCodes fixes the country codes that deliberately collide with
+// US state abbreviations (or, for GT, with a car model), creating the
+// abbreviation homographs of §5.1 (the paper's SB has 17 country/state
+// abbreviation homographs; GT additionally collides with the GT car model).
+var plantedCountryCodes = map[string]string{
+	"Canada":     "CA",
+	"Gabon":      "GA",
+	"Albania":    "AL",
+	"Germany":    "DE",
+	"Moldova":    "MD",
+	"Montenegro": "ME",
+	"Malta":      "MT",
+	"Niger":      "NE",
+	"Seychelles": "SC",
+	"Sudan":      "SD",
+	"Israel":     "IL",
+	"India":      "IN",
+	"Indonesia":  "ID",
+	"Morocco":    "MA",
+	"Panama":     "PA",
+	"Argentina":  "AR",
+	"Colombia":   "CO",
+	"Guatemala":  "GT",
+}
+
+// stateNames and stateAbbrevs are the 50 US states for the SB states table.
+var stateNames = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New Hampshire", "New Jersey", "New Mexico", "New York",
+	"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+	"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+	"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+	"West Virginia", "Wisconsin", "Wyoming",
+}
+
+var stateAbbrevs = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+	"IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+	"MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+	"OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+	"WI", "WY",
+}
+
+// deriveCountryCode produces a two-letter code for a country that has no
+// planted code, avoiding anything already claimed (other codes, state
+// abbreviations) via the taken set.
+func deriveCountryCode(name string, taken map[string]struct{}) string {
+	letters := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if 'A' <= c && c <= 'Z' {
+			letters = append(letters, c)
+		}
+	}
+	try := func(a, b byte) (string, bool) {
+		code := string([]byte{a, b})
+		if _, dup := taken[code]; dup {
+			return "", false
+		}
+		taken[code] = struct{}{}
+		return code, true
+	}
+	// First+second, first+third, ... then all pairs, then a numeric fallback
+	// that cannot collide with anything two-letter.
+	for j := 1; j < len(letters); j++ {
+		if code, ok := try(letters[0], letters[j]); ok {
+			return code
+		}
+	}
+	for i := 0; i < len(letters); i++ {
+		for j := 0; j < len(letters); j++ {
+			if i == j {
+				continue
+			}
+			if code, ok := try(letters[i], letters[j]); ok {
+				return code
+			}
+		}
+	}
+	for i := 0; ; i++ {
+		code := string([]byte{letters[0], byte('0' + i%10), byte('0' + (i/10)%10)})
+		if _, dup := taken[code]; !dup {
+			taken[code] = struct{}{}
+			return code
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"domainnet/internal/lake"
+	"domainnet/internal/table"
+	"domainnet/internal/union"
+)
+
+// Semantic classes of the SB attributes. Every attribute gets exactly one
+// class; a value occurring in two classes is a homograph by construction
+// (union Definition 2 with class == union class).
+const (
+	classCountry = iota
+	classCountryCode
+	classState
+	classStateAbbrev
+	classCity
+	classFirstName
+	classLastName
+	classCarModel
+	classCarMake
+	classAnimal
+	classSciName
+	classStatus
+	classGrocery
+	classCategory
+	classMovie
+	classGenre
+	classCompany
+	classPopulation
+	classSalary
+	classCarYear
+	classZooCount
+	classPrice
+	classMovieYear
+	classRevenue
+	classDonation
+	numSBClasses
+)
+
+// sbPlanted lists the 38 non-abbreviation homographs planted into SB, each
+// with exactly two meanings (Table 1: SB homographs have #M = 2). Together
+// with the 17 country-code/state-abbreviation collisions of
+// plantedCountryCodes (GT is counted here as code/car-model), SB has 55
+// homographs, matching §4.1.
+var sbPlanted = []struct {
+	value   string
+	classes [2]int
+}{
+	{"Sydney", [2]int{classCity, classFirstName}},
+	{"Austin", [2]int{classCity, classFirstName}},
+	{"Charlotte", [2]int{classCity, classFirstName}},
+	{"Savannah", [2]int{classCity, classFirstName}},
+	{"Chelsea", [2]int{classCity, classFirstName}},
+	{"Florence", [2]int{classCity, classFirstName}},
+	{"Victoria", [2]int{classCity, classFirstName}},
+	{"Madison", [2]int{classCity, classFirstName}},
+	{"Jackson", [2]int{classCity, classLastName}},
+	{"Jamaica", [2]int{classCity, classCountry}},
+	{"Cuba", [2]int{classCity, classCountry}},
+	{"Georgia", [2]int{classState, classCountry}},
+	{"Virginia", [2]int{classState, classFirstName}},
+	{"Puma", [2]int{classAnimal, classCompany}},
+	{"Fox", [2]int{classAnimal, classCompany}},
+	{"Jaguar", [2]int{classCarMake, classAnimal}},
+	{"Beetle", [2]int{classCarModel, classAnimal}},
+	{"Mustang", [2]int{classCarModel, classAnimal}},
+	{"Colt", [2]int{classCarModel, classAnimal}},
+	{"Impala", [2]int{classCarModel, classAnimal}},
+	{"Lynx", [2]int{classCarModel, classAnimal}},
+	{"Ram", [2]int{classCarMake, classAnimal}},
+	{"Lincoln", [2]int{classCarMake, classCity}},
+	{"Aspen", [2]int{classCarModel, classCity}},
+	{"Dakota", [2]int{classCarModel, classFirstName}},
+	{"Phoenix", [2]int{classCity, classMovie}},
+	{"Chicago", [2]int{classCity, classMovie}},
+	{"Casablanca", [2]int{classCity, classMovie}},
+	{"Pumpkin", [2]int{classGrocery, classMovie}},
+	{"Butter", [2]int{classGrocery, classMovie}},
+	{"Apple", [2]int{classGrocery, classCompany}},
+	{"Mango", [2]int{classGrocery, classCompany}},
+	{"Carrie", [2]int{classFirstName, classMovie}},
+	{"Matilda", [2]int{classFirstName, classMovie}},
+	{"Buffalo", [2]int{classCity, classAnimal}},
+	{"Mercedes", [2]int{classFirstName, classCarMake}},
+	{"Ford", [2]int{classCarMake, classLastName}},
+	{"GT", [2]int{classCountryCode, classCarModel}},
+}
+
+// SB is the fully synthetic benchmark of §4.1: 13 tables, 1000 rows each
+// except countries (193) and states (50), with 55 planted homographs.
+type SB struct {
+	Lake *lake.Lake
+	// GT carries the semantic-class ground truth over Lake.Attributes().
+	GT *union.GroundTruth
+	// Homographs is the sorted normalized list of the 55 planted homographs.
+	Homographs []string
+}
+
+// HomographSet returns the planted homographs as a set of normalized values.
+func (sb *SB) HomographSet() map[string]bool {
+	out := make(map[string]bool, len(sb.Homographs))
+	for _, h := range sb.Homographs {
+		out[h] = true
+	}
+	return out
+}
+
+// NewSB generates the synthetic benchmark deterministically from a seed.
+func NewSB(seed int64) *SB {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Reserve planted homograph values so vocabulary expansion can never
+	// reproduce them in a third class.
+	taken := make(map[string]struct{})
+	for _, p := range sbPlanted {
+		taken[normalizeKey(p.value)] = struct{}{}
+	}
+	for _, code := range plantedCountryCodes {
+		taken[normalizeKey(code)] = struct{}{}
+	}
+
+	// Fixed vocabularies. States and their abbreviations come first so that
+	// derived country codes avoid all 50 abbreviations.
+	vocab := make([][]string, numSBClasses)
+	registerFixed := func(class int, list []string) {
+		for _, v := range list {
+			taken[normalizeKey(v)] = struct{}{}
+		}
+		vocab[class] = append([]string(nil), list...)
+	}
+	registerFixed(classState, stateNames)
+	registerFixed(classStateAbbrev, stateAbbrevs)
+
+	countries := countryNames
+	if len(countries) > 193 {
+		countries = countries[:193]
+	}
+	registerFixed(classCountry, countries)
+	codes := make([]string, len(countries))
+	for i, c := range countries {
+		if code, ok := plantedCountryCodes[c]; ok {
+			codes[i] = code
+			continue
+		}
+		codes[i] = deriveCountryCode(c, taken)
+	}
+	vocab[classCountryCode] = codes
+
+	// Expanded vocabularies. Vocabularies are substantially larger than the
+	// per-column pools sampled below, so two columns of the same class
+	// share only a modest value set; the values they do share act as
+	// concentrated bridges and acquire visible betweenness, which is what
+	// puts unambiguous values above the near-zero code/abbreviation
+	// homographs in Figure 6.
+	vocab[classCity] = expandVocab(citySeeds, 2000, taken, rng)
+	vocab[classFirstName] = expandVocab(firstNameSeeds, 1200, taken, rng)
+	vocab[classLastName] = expandVocab(lastNameSeeds, 2000, taken, rng)
+	vocab[classCarModel] = expandVocab(carModelSeeds, 500, taken, rng)
+	vocab[classCarMake] = expandVocab(carMakeSeeds, 60, taken, rng)
+	vocab[classAnimal] = expandVocab(animalSeeds, 600, taken, rng)
+	vocab[classSciName] = crossVocab(sciNamePrefixes, sciNameSuffixes, 700, taken)
+	vocab[classStatus] = append([]string(nil), conservationStatuses...)
+	vocab[classGrocery] = expandVocab(grocerySeeds, 400, taken, rng)
+	vocab[classCategory] = append([]string(nil), groceryCategories...)
+	vocab[classMovie] = expandVocab(movieSeeds, 900, taken, rng)
+	vocab[classGenre] = append([]string(nil), movieGenres...)
+	vocab[classCompany] = expandVocab(companySeeds, 1200, taken, rng)
+
+	// Plant the homographs: append each value to both of its classes'
+	// vocabularies (unless the fixed list already contains it, e.g. Georgia
+	// in both states and countries).
+	has := make([]map[string]struct{}, numSBClasses)
+	for c := range vocab {
+		has[c] = make(map[string]struct{}, len(vocab[c]))
+		for _, v := range vocab[c] {
+			has[c][normalizeKey(v)] = struct{}{}
+		}
+	}
+	plant := func(value string, class int) {
+		key := normalizeKey(value)
+		if _, ok := has[class][key]; ok {
+			return
+		}
+		has[class][key] = struct{}{}
+		vocab[class] = append(vocab[class], value)
+	}
+	homographs := make([]string, 0, len(sbPlanted)+len(plantedCountryCodes))
+	for _, p := range sbPlanted {
+		plant(p.value, p.classes[0])
+		plant(p.value, p.classes[1])
+		homographs = append(homographs, normalizeKey(p.value))
+	}
+	// The 17 country-code/state-abbreviation homographs (GT already counted
+	// above as code/car-model).
+	for country, code := range plantedCountryCodes {
+		if code == "GT" {
+			continue
+		}
+		_ = country
+		homographs = append(homographs, code)
+	}
+	sort.Strings(homographs)
+
+	// Numeric vocabularies in mutually disjoint ranges so no accidental
+	// numeric homographs arise.
+	numeric := func(class, lo, hi, n int) {
+		vocab[class] = numericVocab(lo, hi, n, rng)
+	}
+	numeric(classPopulation, 1_000_000, 9_999_999, 900)
+	numeric(classSalary, 30_000, 99_999, 900)
+	numeric(classCarYear, 1990, 2020, 31)
+	numeric(classZooCount, 1, 99, 99)
+	numeric(classMovieYear, 1925, 1985, 61)
+	numeric(classRevenue, 10_000, 29_999, 900)
+	numeric(classDonation, 100_000, 999_999, 900)
+	vocab[classPrice] = priceVocab(900, rng)
+
+	// Assemble the 13 tables. Each column records its class in classes[] in
+	// the same order lake.Attributes() will enumerate them.
+	b := &sbBuilder{vocab: vocab, has: has, rng: rng}
+	b.addTable("countries", 193,
+		sbCol{"country", classCountry, 193},
+		sbCol{"code", classCountryCode, 193})
+	b.addTable("us_states", 50,
+		sbCol{"state", classState, 50},
+		sbCol{"abbreviation", classStateAbbrev, 50})
+	b.addTable("cities", 1000,
+		sbCol{"city", classCity, 500},
+		sbCol{"country", classCountry, 120},
+		sbCol{"population", classPopulation, 900})
+	b.addTable("people", 1000,
+		sbCol{"first_name", classFirstName, 380},
+		sbCol{"last_name", classLastName, 420},
+		sbCol{"city", classCity, 350})
+	b.addTable("employees", 1000,
+		sbCol{"first_name", classFirstName, 320},
+		sbCol{"last_name", classLastName, 380},
+		sbCol{"company", classCompany, 380},
+		sbCol{"city", classCity, 300},
+		sbCol{"salary", classSalary, 900})
+	b.addTable("cars", 1000,
+		sbCol{"model", classCarModel, 220},
+		sbCol{"make", classCarMake, 60},
+		sbCol{"year", classCarYear, 31})
+	b.addTable("dealers", 1000,
+		sbCol{"city", classCity, 320},
+		sbCol{"make", classCarMake, 60},
+		sbCol{"model", classCarModel, 200})
+	b.addTable("zoo", 1000,
+		sbCol{"name", classAnimal, 260},
+		sbCol{"locale", classCity, 340},
+		sbCol{"num", classZooCount, 99})
+	b.addTable("wildlife", 1000,
+		sbCol{"animal", classAnimal, 280},
+		sbCol{"scientific_name", classSciName, 700},
+		sbCol{"status", classStatus, 8})
+	b.addTable("groceries", 1000,
+		sbCol{"product", classGrocery, 400},
+		sbCol{"category", classCategory, 18},
+		sbCol{"price", classPrice, 900})
+	b.addTable("movies", 1000,
+		sbCol{"title", classMovie, 850},
+		sbCol{"genre", classGenre, 18},
+		sbCol{"year", classMovieYear, 61})
+	// Note: the companies table references countries by name, not code.
+	// Country codes therefore occur only in the countries table, and state
+	// abbreviations only in the states table — so the non-homograph codes
+	// are frequency-1 singletons that pre-processing removes, which is what
+	// gives the 17 code/abbreviation homographs their near-zero betweenness
+	// in the paper's Figure 6 (they bridge two almost-empty columns).
+	b.addTable("companies", 1000,
+		sbCol{"name", classCompany, 420},
+		sbCol{"revenue", classRevenue, 900},
+		sbCol{"country", classCountry, 150})
+	b.addTable("sponsors", 1000,
+		sbCol{"donor", classCompany, 350},
+		sbCol{"at_risk", classAnimal, 240},
+		sbCol{"donation", classDonation, 900})
+
+	l := lake.New("SB")
+	for _, t := range b.tables {
+		l.MustAdd(t)
+	}
+	return &SB{
+		Lake:       l,
+		GT:         &union.GroundTruth{Attrs: l.Attributes(), ClassOf: b.classes},
+		Homographs: homographs,
+	}
+}
+
+type sbCol struct {
+	name  string
+	class int
+	pool  int // target distinct-value count for this column
+}
+
+type sbBuilder struct {
+	vocab   [][]string
+	has     []map[string]struct{}
+	rng     *rand.Rand
+	tables  []*table.Table
+	classes []int
+}
+
+// addTable materializes one table with the given row count. Each column
+// samples a pool of distinct values from its class vocabulary — always
+// including planted homographs of that class — writes each pool value at
+// least once, and fills remaining rows by sampling with replacement (which
+// produces the ~30% frequency-1 values the paper's pre-processing removes).
+func (b *sbBuilder) addTable(name string, rows int, cols ...sbCol) {
+	t := table.New(name)
+	for _, c := range cols {
+		pool := b.samplePool(c.class, c.pool)
+		values := make([]string, rows)
+		perm := b.rng.Perm(len(pool))
+		for i := 0; i < rows; i++ {
+			if i < len(pool) {
+				values[i] = pool[perm[i]]
+			} else {
+				values[i] = pool[b.rng.Intn(len(pool))]
+			}
+		}
+		t.AddColumn(c.name, values...)
+		b.classes = append(b.classes, c.class)
+	}
+	b.tables = append(b.tables, t)
+}
+
+// samplePool picks n distinct values from a class vocabulary, always
+// including planted homographs of that class so every meaning materializes.
+func (b *sbBuilder) samplePool(class, n int) []string {
+	voc := b.vocab[class]
+	if n >= len(voc) {
+		return voc
+	}
+	forced := make(map[string]struct{})
+	pool := make([]string, 0, n)
+	for _, p := range sbPlanted {
+		if p.classes[0] == class || p.classes[1] == class {
+			pool = append(pool, p.value)
+			forced[normalizeKey(p.value)] = struct{}{}
+		}
+	}
+	perm := b.rng.Perm(len(voc))
+	for _, i := range perm {
+		if len(pool) >= n {
+			break
+		}
+		v := voc[i]
+		if _, dup := forced[normalizeKey(v)]; dup {
+			continue
+		}
+		pool = append(pool, v)
+	}
+	return pool
+}
+
+func numericVocab(lo, hi, n int, rng *rand.Rand) []string {
+	span := hi - lo + 1
+	if n >= span {
+		out := make([]string, span)
+		for i := 0; i < span; i++ {
+			out[i] = fmt.Sprintf("%d", lo+i)
+		}
+		return out
+	}
+	seen := make(map[int]struct{}, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		v := lo + rng.Intn(span)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, fmt.Sprintf("%d", v))
+	}
+	return out
+}
+
+func priceVocab(n int, rng *rand.Rand) []string {
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		v := fmt.Sprintf("%d.%02d", 1+rng.Intn(19), rng.Intn(100))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

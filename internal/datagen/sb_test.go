@@ -1,0 +1,223 @@
+package datagen
+
+import (
+	"sort"
+	"testing"
+
+	"domainnet/internal/bipartite"
+)
+
+func TestSBShape(t *testing.T) {
+	sb := NewSB(1)
+	if got := sb.Lake.NumTables(); got != 13 {
+		t.Errorf("tables = %d, want 13", got)
+	}
+	attrs := sb.Lake.Attributes()
+	if len(attrs) != 39 {
+		t.Errorf("attributes = %d, want 39", len(attrs))
+	}
+	// Row counts: 193 countries, 50 states, 1000 elsewhere.
+	for _, tab := range sb.Lake.Tables() {
+		want := 1000
+		switch tab.Name {
+		case "countries":
+			want = 193
+		case "us_states":
+			want = 50
+		}
+		if got := tab.NumRows(); got != want {
+			t.Errorf("table %s rows = %d, want %d", tab.Name, got, want)
+		}
+	}
+}
+
+func TestSBHomographGroundTruth(t *testing.T) {
+	sb := NewSB(1)
+	if got := len(sb.Homographs); got != 55 {
+		t.Fatalf("planted homographs = %d, want 55: %v", got, sb.Homographs)
+	}
+	// The ground truth computed from actual value placement (Definition 2
+	// over semantic classes) must agree exactly with the planted list: no
+	// accidental cross-class collisions.
+	computed := sb.GT.Homographs()
+	if len(computed) != len(sb.Homographs) {
+		t.Fatalf("computed %d homographs, planted %d\ncomputed: %v\nplanted: %v",
+			len(computed), len(sb.Homographs), computed, sb.Homographs)
+	}
+	for i := range computed {
+		if computed[i] != sb.Homographs[i] {
+			t.Fatalf("homograph mismatch at %d: computed %q, planted %q",
+				i, computed[i], sb.Homographs[i])
+		}
+	}
+}
+
+func TestSBHomographsHaveTwoMeanings(t *testing.T) {
+	sb := NewSB(1)
+	meanings := sb.GT.MeaningCounts()
+	for _, h := range sb.Homographs {
+		if meanings[h] != 2 {
+			t.Errorf("%s has %d meanings, want 2 (Table 1)", h, meanings[h])
+		}
+	}
+}
+
+func TestSBAbbreviationHomographCount(t *testing.T) {
+	sb := NewSB(1)
+	abbrevs := 0
+	for _, h := range sb.Homographs {
+		if len(h) == 2 {
+			abbrevs++
+		}
+	}
+	// 17 country/state abbreviations plus GT (code vs car model).
+	if abbrevs != 18 {
+		t.Errorf("two-letter homographs = %d, want 18", abbrevs)
+	}
+}
+
+func TestSBDeterministic(t *testing.T) {
+	a := NewSB(7)
+	b := NewSB(7)
+	sa := a.Lake.Stats()
+	sbb := b.Lake.Stats()
+	if sa != sbb {
+		t.Errorf("same seed, different stats: %v vs %v", sa, sbb)
+	}
+	c := NewSB(8)
+	if c.Lake.Stats() == sa {
+		t.Error("different seeds produced identical stats (suspicious)")
+	}
+}
+
+func TestSBGraphScale(t *testing.T) {
+	sb := NewSB(1)
+	g := bipartite.FromLake(sb.Lake, bipartite.Options{})
+	stats := sb.Lake.Stats()
+	// The singleton filter should remove a noticeable share of values
+	// (paper: ~30% fewer nodes on SB).
+	if g.NumValues() >= stats.Values {
+		t.Errorf("filter removed nothing: %d graph values vs %d distinct", g.NumValues(), stats.Values)
+	}
+	removed := float64(stats.Values-g.NumValues()) / float64(stats.Values)
+	if removed < 0.05 || removed > 0.6 {
+		t.Errorf("singleton removal fraction = %.2f, expected a substantial share (paper ~0.3)", removed)
+	}
+	// Every planted homograph must survive the filter.
+	for _, h := range sb.Homographs {
+		if _, ok := g.ValueNode(h); !ok {
+			t.Errorf("homograph %s was filtered out of the graph", h)
+		}
+	}
+}
+
+func TestSBVocabulariesDisjointExceptPlanted(t *testing.T) {
+	sb := NewSB(1)
+	// Recompute value -> classes from the ground truth; only planted
+	// homographs may span two classes (checked exhaustively).
+	counts := sb.GT.MeaningCounts()
+	planted := sb.HomographSet()
+	multi := []string{}
+	for v, m := range counts {
+		if m > 1 && !planted[v] {
+			multi = append(multi, v)
+		}
+	}
+	sort.Strings(multi)
+	if len(multi) != 0 {
+		t.Errorf("unplanted multi-class values: %v", multi)
+	}
+}
+
+func TestCountryAndStateData(t *testing.T) {
+	if len(stateNames) != 50 || len(stateAbbrevs) != 50 {
+		t.Fatalf("states: %d names, %d abbrevs", len(stateNames), len(stateAbbrevs))
+	}
+	if len(countryNames) < 193 {
+		t.Fatalf("countries = %d, want >= 193", len(countryNames))
+	}
+	seen := map[string]bool{}
+	for _, c := range countryNames[:193] {
+		if seen[c] {
+			t.Errorf("duplicate country %q", c)
+		}
+		seen[c] = true
+	}
+	for planted := range plantedCountryCodes {
+		if !seen[planted] {
+			t.Errorf("planted country %q not among first 193", planted)
+		}
+	}
+	seenAb := map[string]bool{}
+	for _, a := range stateAbbrevs {
+		if seenAb[a] {
+			t.Errorf("duplicate state abbrev %q", a)
+		}
+		seenAb[a] = true
+	}
+	// Every planted code except GT must be a real state abbreviation.
+	for country, code := range plantedCountryCodes {
+		if code == "GT" {
+			continue
+		}
+		if !seenAb[code] {
+			t.Errorf("planted code %s (%s) is not a state abbreviation", code, country)
+		}
+	}
+}
+
+func TestDeriveCountryCodeAvoidsTaken(t *testing.T) {
+	taken := map[string]struct{}{"FR": {}, "FA": {}}
+	code := deriveCountryCode("France", taken)
+	if code == "FR" || code == "FA" {
+		t.Errorf("derived taken code %s", code)
+	}
+	if _, ok := taken[code]; !ok {
+		t.Error("derived code not registered in taken")
+	}
+}
+
+func TestExpandVocabUniqueAndSized(t *testing.T) {
+	taken := map[string]struct{}{}
+	rng := newTestRand()
+	v := expandVocab([]string{"Alpha", "Beta"}, 100, taken, rng)
+	if len(v) != 100 {
+		t.Fatalf("size = %d, want 100", len(v))
+	}
+	seen := map[string]bool{}
+	for _, s := range v {
+		k := normalizeKey(s)
+		if seen[k] {
+			t.Errorf("duplicate entry %q", s)
+		}
+		seen[k] = true
+	}
+	// All entries claimed in taken.
+	if len(taken) != 100 {
+		t.Errorf("taken = %d, want 100", len(taken))
+	}
+}
+
+func TestExpandVocabRespectsTaken(t *testing.T) {
+	taken := map[string]struct{}{"ALPHA": {}}
+	v := expandVocab([]string{"Alpha", "Beta"}, 10, taken, newTestRand())
+	for _, s := range v {
+		if normalizeKey(s) == "ALPHA" {
+			t.Error("expandVocab produced a taken value")
+		}
+	}
+}
+
+func TestNormalizeKey(t *testing.T) {
+	cases := map[string]string{
+		" jaguar ": "JAGUAR",
+		"a b":      "A B",
+		"AB":       "AB",
+		"":         "",
+	}
+	for in, want := range cases {
+		if got := normalizeKey(in); got != want {
+			t.Errorf("normalizeKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package domainnet is the end-to-end homograph detection system of the
+// paper (§3.4, Figure 4): (1) build the bipartite value/attribute graph of a
+// data lake, (2) compute a centrality measure per value node, (3) rank value
+// nodes so that likely homographs come first.
+//
+// The package is the library's primary entry point; examples and binaries
+// use it rather than wiring the substrates together by hand.
+package domainnet
+
+import (
+	"fmt"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/centrality"
+	"domainnet/internal/lake"
+	"domainnet/internal/rank"
+)
+
+// Measure selects the homograph score computed in step 2 of the pipeline.
+type Measure int
+
+const (
+	// BetweennessApprox is sampled betweenness centrality, the measure the
+	// paper recommends for real lakes (§5.4). Homographs rank high.
+	BetweennessApprox Measure = iota
+	// BetweennessExact is full Brandes betweenness; O(n·m), for small lakes.
+	BetweennessExact
+	// LCC is the exact local clustering coefficient of Eq. 1.
+	// Homographs are hypothesized to rank low (Hypothesis 3.4).
+	LCC
+	// LCCAttr is the fast attribute-Jaccard variant of LCC.
+	LCCAttr
+	// DegreeBaseline ranks by node degree, a trivial baseline used in
+	// ablation experiments.
+	DegreeBaseline
+	// BetweennessEpsilon is the Riondato-Kornaropoulos path-sampling
+	// estimator with an (ε, δ) accuracy guarantee — the second
+	// approximation the paper cites in §3.3.
+	BetweennessEpsilon
+	// HarmonicBaseline ranks by harmonic centrality, an ablation baseline.
+	HarmonicBaseline
+)
+
+// String returns the measure's display name.
+func (m Measure) String() string {
+	switch m {
+	case BetweennessApprox:
+		return "betweenness(approx)"
+	case BetweennessExact:
+		return "betweenness(exact)"
+	case LCC:
+		return "lcc"
+	case LCCAttr:
+		return "lcc(attr-jaccard)"
+	case DegreeBaseline:
+		return "degree"
+	case BetweennessEpsilon:
+		return "betweenness(epsilon)"
+	case HarmonicBaseline:
+		return "harmonic"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// order reports the ranking direction under which the measure places
+// homograph candidates first.
+func (m Measure) order() rank.Order {
+	switch m {
+	case LCC, LCCAttr:
+		return rank.Ascending
+	default:
+		return rank.Descending
+	}
+}
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Measure is the homograph score; the zero value is the recommended
+	// sampled betweenness centrality.
+	Measure Measure
+	// Samples is the BFS source count for BetweennessApprox. Zero picks
+	// 1% of the node count (min 100), the heuristic of §5.4 footnote 7.
+	Samples int
+	// Seed drives source sampling; fixed seeds give reproducible rankings.
+	Seed int64
+	// Workers bounds centrality parallelism; zero means all CPUs.
+	Workers int
+	// DegreeBiasedSampling switches approximate BC from uniform to
+	// degree-proportional source sampling (§3.3).
+	DegreeBiasedSampling bool
+	// Epsilon and Delta parameterize BetweennessEpsilon: estimates are
+	// within Epsilon of the true betweenness fraction with probability
+	// 1-Delta. Zeros select 0.05 and 0.1.
+	Epsilon, Delta float64
+	// KeepSingletons retains values occurring in a single attribute.
+	// The paper's pre-processing drops them (§5); leave false to match.
+	KeepSingletons bool
+}
+
+// Detector runs the three-step DomainNet pipeline over one data lake and
+// caches the graph and scores.
+type Detector struct {
+	cfg    Config
+	graph  *bipartite.Graph
+	scores []float64
+}
+
+// New builds the DomainNet graph of a lake (pipeline step 1).
+func New(l *lake.Lake, cfg Config) *Detector {
+	g := bipartite.FromLake(l, bipartite.Options{KeepSingletons: cfg.KeepSingletons})
+	return FromGraph(g, cfg)
+}
+
+// FromGraph wraps an already-built graph, for callers that construct or
+// transform graphs themselves (subgraph scalability studies, injection
+// experiments).
+func FromGraph(g *bipartite.Graph, cfg Config) *Detector {
+	return &Detector{cfg: cfg, graph: g}
+}
+
+// Graph exposes the underlying bipartite graph.
+func (d *Detector) Graph() *bipartite.Graph { return d.graph }
+
+// Scores computes (once) and returns the per-node score slice, indexed by
+// node id; only value-node entries are meaningful for LCC measures.
+func (d *Detector) Scores() []float64 {
+	if d.scores != nil {
+		return d.scores
+	}
+	g := d.graph
+	switch d.cfg.Measure {
+	case BetweennessExact:
+		d.scores = centrality.Betweenness(g, d.bcOptions())
+	case LCC:
+		d.scores = centrality.LCC(g)
+	case LCCAttr:
+		d.scores = centrality.LCCAttributeJaccard(g)
+	case DegreeBaseline:
+		d.scores = centrality.Degree(g)
+	case BetweennessEpsilon:
+		d.scores = centrality.ApproxBetweennessEpsilon(g, centrality.EpsilonOptions{
+			Epsilon: d.cfg.Epsilon,
+			Delta:   d.cfg.Delta,
+			Seed:    d.cfg.Seed,
+		})
+	case HarmonicBaseline:
+		s := d.cfg.Samples
+		if s <= 0 {
+			d.scores = centrality.Harmonic(g)
+		} else {
+			d.scores = centrality.ApproxHarmonic(g, s, d.cfg.Seed)
+		}
+	default:
+		s := d.cfg.Samples
+		if s <= 0 {
+			s = g.NumNodes() / 100
+			if s < 100 {
+				s = 100
+			}
+		}
+		strategy := centrality.SampleUniform
+		if d.cfg.DegreeBiasedSampling {
+			strategy = centrality.SampleDegreeBiased
+		}
+		d.scores = centrality.ApproxBetweenness(g, centrality.ApproxOptions{
+			BCOptions: d.bcOptions(),
+			Samples:   s,
+			Strategy:  strategy,
+			Seed:      d.cfg.Seed,
+		})
+	}
+	return d.scores
+}
+
+func (d *Detector) bcOptions() centrality.BCOptions {
+	return centrality.BCOptions{Normalized: true, Workers: d.cfg.Workers}
+}
+
+// Ranking returns all candidate values ordered so likely homographs come
+// first (pipeline step 3).
+func (d *Detector) Ranking() []rank.Scored {
+	return rank.Values(d.graph.Values(), d.Scores(), d.cfg.Measure.order())
+}
+
+// TopK returns the k best homograph candidates.
+func (d *Detector) TopK(k int) []rank.Scored {
+	return rank.TopK(d.Ranking(), k)
+}
+
+// Score returns the score of one value (normalized form), if present.
+func (d *Detector) Score(value string) (float64, bool) {
+	u, ok := d.graph.ValueNode(value)
+	if !ok {
+		return 0, false
+	}
+	return d.Scores()[u], true
+}

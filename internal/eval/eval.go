@@ -1,0 +1,97 @@
+// Package eval computes the success measures of the paper's §5: precision,
+// recall and F1 of the k top-ranked homograph candidates against ground
+// truth, and full precision-recall curves over all k (Figure 7).
+package eval
+
+import "domainnet/internal/rank"
+
+// Metrics bundles precision, recall and F1 at a cut-off k.
+type Metrics struct {
+	K         int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// AtK scores the top-k of a ranking against the ground-truth homograph set.
+// By the paper's default, k is the true number of homographs, making
+// precision, recall and F1 coincide; any k is accepted.
+func AtK(ranking []rank.Scored, truth map[string]bool, k int) Metrics {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	hits := 0
+	for _, s := range ranking[:k] {
+		if truth[s.Value] {
+			hits++
+		}
+	}
+	return fromCounts(k, hits, countTrue(truth))
+}
+
+// Curve returns metrics at every k from 1 to len(ranking) in one pass,
+// the data behind Figure 7.
+func Curve(ranking []rank.Scored, truth map[string]bool) []Metrics {
+	total := countTrue(truth)
+	out := make([]Metrics, len(ranking))
+	hits := 0
+	for i, s := range ranking {
+		if truth[s.Value] {
+			hits++
+		}
+		out[i] = fromCounts(i+1, hits, total)
+	}
+	return out
+}
+
+// BestF1 returns the metrics at the k maximizing F1 (§5.3 reports this
+// point for TUS). The earliest such k wins ties.
+func BestF1(curve []Metrics) Metrics {
+	best := Metrics{}
+	for _, m := range curve {
+		if m.F1 > best.F1 {
+			best = m
+		}
+	}
+	return best
+}
+
+// HitsAtK counts how many of the top-k ranked values belong to the target
+// set — the measure behind Tables 2 and 3 ("% of injected homographs
+// appearing in the top-50").
+func HitsAtK(ranking []rank.Scored, targets map[string]bool, k int) int {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	hits := 0
+	for _, s := range ranking[:k] {
+		if targets[s.Value] {
+			hits++
+		}
+	}
+	return hits
+}
+
+func fromCounts(k, hits, truthSize int) Metrics {
+	m := Metrics{K: k}
+	if k > 0 {
+		m.Precision = float64(hits) / float64(k)
+	}
+	if truthSize > 0 {
+		m.Recall = float64(hits) / float64(truthSize)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+func countTrue(truth map[string]bool) int {
+	n := 0
+	for _, v := range truth {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"domainnet/internal/rank"
+)
+
+func ranking(values ...string) []rank.Scored {
+	out := make([]rank.Scored, len(values))
+	for i, v := range values {
+		out[i] = rank.Scored{Value: v, Score: float64(len(values) - i)}
+	}
+	return out
+}
+
+func TestAtK(t *testing.T) {
+	r := ranking("H1", "X", "H2", "Y", "H3")
+	truth := map[string]bool{"H1": true, "H2": true, "H3": true}
+	m := AtK(r, truth, 3)
+	if m.Precision != 2.0/3 {
+		t.Errorf("precision = %v", m.Precision)
+	}
+	if m.Recall != 2.0/3 {
+		t.Errorf("recall = %v", m.Recall)
+	}
+	if math.Abs(m.F1-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", m.F1)
+	}
+}
+
+func TestAtKEqualPRWhenKIsTruthSize(t *testing.T) {
+	// The paper's default: k == number of true homographs makes P == R.
+	r := ranking("H1", "X", "H2", "Y")
+	truth := map[string]bool{"H1": true, "H2": true}
+	m := AtK(r, truth, 2)
+	if m.Precision != m.Recall {
+		t.Errorf("P=%v R=%v, want equal", m.Precision, m.Recall)
+	}
+}
+
+func TestAtKClampsK(t *testing.T) {
+	r := ranking("H1")
+	m := AtK(r, map[string]bool{"H1": true, "H2": true}, 10)
+	if m.K != 1 || m.Precision != 1 || m.Recall != 0.5 {
+		t.Errorf("clamped metrics = %+v", m)
+	}
+}
+
+func TestCurveMonotoneRecall(t *testing.T) {
+	r := ranking("A", "B", "C", "D", "E", "F")
+	truth := map[string]bool{"B": true, "D": true, "E": true}
+	curve := Curve(r, truth)
+	if len(curve) != 6 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Errorf("recall decreased at k=%d", i+1)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.Recall != 1 {
+		t.Errorf("full-ranking recall = %v, want 1", last.Recall)
+	}
+	if last.Precision != 0.5 {
+		t.Errorf("full-ranking precision = %v, want 0.5", last.Precision)
+	}
+}
+
+func TestBestF1(t *testing.T) {
+	r := ranking("H1", "H2", "X", "H3", "Y")
+	truth := map[string]bool{"H1": true, "H2": true, "H3": true}
+	best := BestF1(Curve(r, truth))
+	// k=2: P=1, R=2/3, F1=0.8; k=4: P=3/4, R=1, F1=6/7≈0.857 -> best k=4.
+	if best.K != 4 {
+		t.Errorf("best k = %d (F1=%v), want 4", best.K, best.F1)
+	}
+}
+
+func TestHitsAtK(t *testing.T) {
+	r := ranking("I1", "X", "I2")
+	targets := map[string]bool{"I1": true, "I2": true}
+	if got := HitsAtK(r, targets, 2); got != 1 {
+		t.Errorf("hits@2 = %d, want 1", got)
+	}
+	if got := HitsAtK(r, targets, 3); got != 2 {
+		t.Errorf("hits@3 = %d, want 2", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	m := AtK(nil, map[string]bool{}, 5)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+	if c := Curve(nil, nil); len(c) != 0 {
+		t.Errorf("empty curve = %v", c)
+	}
+	if b := BestF1(nil); b.F1 != 0 {
+		t.Errorf("empty best = %+v", b)
+	}
+}
+
+func TestMetricsBoundsProperty(t *testing.T) {
+	f := func(flags []bool) bool {
+		r := make([]rank.Scored, len(flags))
+		truth := map[string]bool{}
+		for i, isH := range flags {
+			v := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			r[i] = rank.Scored{Value: v, Score: float64(-i)}
+			if isH {
+				truth[v] = true
+			}
+		}
+		for _, m := range Curve(r, truth) {
+			if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 || m.F1 < 0 || m.F1 > 1 {
+				return false
+			}
+			if m.F1 > 0 && (m.Precision == 0 || m.Recall == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

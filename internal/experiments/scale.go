@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/centrality"
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/eval"
+)
+
+// Figure8Point is one sample-size setting of the approximation study.
+type Figure8Point struct {
+	Samples       int
+	PrecisionAtK  float64
+	RuntimeMillis int64
+}
+
+// Figure8Result holds the precision/runtime trade-off of approximate BC
+// (§5.4, Figure 8: precision stabilizes around 0.6 from ~1000 samples on
+// TUS while runtime grows linearly with the sample count).
+type Figure8Result struct {
+	Points []Figure8Point
+	// ExactPrecision and ExactMillis describe the exact-BC reference the
+	// paper quotes (precision 0.631, 150 minutes on their hardware). Only
+	// filled when runExact is requested.
+	ExactPrecision float64
+	ExactMillis    int64
+	HasExact       bool
+	K              int
+}
+
+// Figure8 sweeps the approximate-BC sample count on the TUS lake and
+// measures precision at k = #homographs together with wall-clock runtime.
+func Figure8(cfg datagen.TUSConfig, sampleSizes []int, runExact bool, seed int64) *Figure8Result {
+	if sampleSizes == nil {
+		sampleSizes = []int{125, 250, 500, 1000, 2000, 3500, 5000}
+	}
+	gt := datagen.TUS(cfg)
+	g := bipartite.FromAttributes(gt.Attrs, bipartite.Options{})
+
+	truth := map[string]bool{}
+	k := 0
+	for v, h := range gt.HomographLabels() {
+		if _, ok := g.ValueNode(v); !ok {
+			continue
+		}
+		truth[v] = h
+		if h {
+			k++
+		}
+	}
+
+	res := &Figure8Result{K: k}
+	for _, s := range sampleSizes {
+		if s >= g.NumNodes() {
+			continue
+		}
+		start := time.Now()
+		det := domainnet.FromGraph(g, domainnet.Config{
+			Measure: domainnet.BetweennessApprox, Samples: s, Seed: seed,
+		})
+		m := eval.AtK(det.Ranking(), truth, k)
+		res.Points = append(res.Points, Figure8Point{
+			Samples:       s,
+			PrecisionAtK:  m.Precision,
+			RuntimeMillis: time.Since(start).Milliseconds(),
+		})
+	}
+	if runExact {
+		start := time.Now()
+		det := domainnet.FromGraph(g, domainnet.Config{Measure: domainnet.BetweennessExact})
+		m := eval.AtK(det.Ranking(), truth, k)
+		res.ExactPrecision = m.Precision
+		res.ExactMillis = time.Since(start).Milliseconds()
+		res.HasExact = true
+	}
+	return res
+}
+
+// Render prints Figure 8 as a table.
+func (r *Figure8Result) Render() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{itoa(p.Samples), f3(p.PrecisionAtK), secs(p.RuntimeMillis)}
+	}
+	s := fmt.Sprintf("Figure 8 — precision@%d and runtime vs approximate-BC sample size\n", r.K) +
+		renderTable([]string{"samples", "precision@k", "time"}, rows)
+	if r.HasExact {
+		s += fmt.Sprintf("exact BC: precision %.3f in %s (paper: 0.631, 150 min on TUS)\n",
+			r.ExactPrecision, secs(r.ExactMillis))
+	}
+	return s
+}
+
+// Figure9Point is one subgraph measurement of the scalability study.
+type Figure9Point struct {
+	Edges         int
+	Nodes         int
+	RuntimeMillis int64
+}
+
+// Figure9Result holds approximate-BC runtimes over NYC-scale subgraphs of
+// growing edge counts (§5.4, Figure 9: runtime is linear in edges, matching
+// the O(s·m) complexity).
+type Figure9Result struct {
+	Points      []Figure9Point
+	SampleFrac  float64
+	GraphEdges  int
+	GraphValues int
+}
+
+// Figure9 extracts attribute-seeded subgraphs of increasing size from the
+// NYC-scale lake and times approximate BC (sampling sampleFrac of nodes).
+func Figure9(nycScale float64, fractions []float64, sampleFrac float64, seed int64) *Figure9Result {
+	if fractions == nil {
+		fractions = []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	if sampleFrac <= 0 {
+		sampleFrac = 0.01
+	}
+	attrs := datagen.NYC(datagen.NYCConfig{Scale: nycScale, Seed: seed})
+	full := bipartite.FromAttributes(attrs, bipartite.Options{})
+	rng := rand.New(rand.NewSource(seed))
+
+	res := &Figure9Result{
+		SampleFrac:  sampleFrac,
+		GraphEdges:  full.NumEdges(),
+		GraphValues: full.NumValues(),
+	}
+	for _, f := range fractions {
+		var g *bipartite.Graph
+		if f >= 1.0 {
+			g = full
+		} else {
+			g = full.Subgraph(int(f*float64(full.NumEdges())), rng)
+		}
+		samples := int(sampleFrac * float64(g.NumNodes()))
+		if samples < 10 {
+			samples = 10
+		}
+		start := time.Now()
+		centrality.ApproxBetweenness(g, centrality.ApproxOptions{
+			BCOptions: centrality.BCOptions{Normalized: true},
+			Samples:   samples,
+			Seed:      seed,
+		})
+		res.Points = append(res.Points, Figure9Point{
+			Edges:         g.NumEdges(),
+			Nodes:         g.NumNodes(),
+			RuntimeMillis: time.Since(start).Milliseconds(),
+		})
+	}
+	return res
+}
+
+// Render prints Figure 9 as a table.
+func (r *Figure9Result) Render() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{itoa(p.Edges), itoa(p.Nodes), secs(p.RuntimeMillis)}
+	}
+	return fmt.Sprintf("Figure 9 — approximate-BC runtime vs subgraph size (sampling %.1f%% of nodes)\n",
+		100*r.SampleFrac) +
+		renderTable([]string{"#edges", "#nodes", "time"}, rows)
+}
+
+// LinearFitR2 quantifies how well runtime scales linearly with edges — the
+// claim Figure 9 makes. Returns the R² of a least-squares line through
+// (edges, millis).
+func (r *Figure9Result) LinearFitR2() float64 {
+	n := float64(len(r.Points))
+	if n < 2 {
+		return 1
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for _, p := range r.Points {
+		x, y := float64(p.Edges), float64(p.RuntimeMillis)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	cov := sxy - sx*sy/n
+	varX := sxx - sx*sx/n
+	varY := syy - sy*sy/n
+	if varX == 0 || varY == 0 {
+		return 1
+	}
+	return (cov * cov) / (varX * varY)
+}
+
+// ConstructionResult reports graph-construction and LCC timings (§5.4 text:
+// TUS graph built in ~1.5 min, NYC in ~3.5 min, LCC on TUS in 4 s on the
+// authors' hardware).
+type ConstructionResult struct {
+	Dataset     string
+	Nodes       int
+	Edges       int
+	BuildMillis int64
+	LCCMillis   int64
+}
+
+// ConstructionTimes measures graph construction and fast-LCC runtime on the
+// TUS- and NYC-scale lakes.
+func ConstructionTimes(scale Scale) []ConstructionResult {
+	var out []ConstructionResult
+
+	tusGT := datagen.TUS(TUSConfigFor(scale))
+	start := time.Now()
+	g := bipartite.FromAttributes(tusGT.Attrs, bipartite.Options{})
+	build := time.Since(start).Milliseconds()
+	start = time.Now()
+	centrality.LCCAttributeJaccard(g)
+	lcc := time.Since(start).Milliseconds()
+	out = append(out, ConstructionResult{
+		Dataset: "TUS", Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		BuildMillis: build, LCCMillis: lcc,
+	})
+
+	nycScale := map[Scale]float64{ScaleSmall: 0.02, ScaleMedium: 0.1, ScaleFull: 1.0}[scale]
+	attrs := datagen.NYC(datagen.NYCConfig{Scale: nycScale, Seed: 1})
+	start = time.Now()
+	gn := bipartite.FromAttributes(attrs, bipartite.Options{})
+	build = time.Since(start).Milliseconds()
+	out = append(out, ConstructionResult{
+		Dataset: fmt.Sprintf("NYC-EDU (scale %.2f)", nycScale),
+		Nodes:   gn.NumNodes(), Edges: gn.NumEdges(), BuildMillis: build, LCCMillis: -1,
+	})
+	return out
+}
+
+// RenderConstruction prints the construction-time table.
+func RenderConstruction(rs []ConstructionResult) string {
+	rows := make([][]string, len(rs))
+	for i, r := range rs {
+		lcc := "-"
+		if r.LCCMillis >= 0 {
+			lcc = secs(r.LCCMillis)
+		}
+		rows[i] = []string{r.Dataset, itoa(r.Nodes), itoa(r.Edges), secs(r.BuildMillis), lcc}
+	}
+	return "Graph construction and LCC timings (§5.4)\n" +
+		renderTable([]string{"dataset", "nodes", "edges", "build", "lcc"}, rows)
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/eval"
+	"domainnet/internal/lake"
+	"domainnet/internal/union"
+)
+
+// InjectionConfig parameterizes the TUS-I experiments (Tables 2 and 3).
+type InjectionConfig struct {
+	// TUS is the generator configuration for the clean base lake (its
+	// Homographs field is forced to 0; residual numeric homographs are
+	// removed per §4.3).
+	TUS datagen.TUSConfig
+	// Count is the number of injected homographs per run (paper: 50).
+	Count int
+	// Runs is the number of repetitions per setting with different seeds
+	// (paper: 4; results are averaged).
+	Runs int
+	// Samples is the approximate-BC sample count (paper: 5000 on full TUS).
+	Samples int
+	// Seed is the base seed; run i uses Seed+i.
+	Seed int64
+}
+
+// DefaultInjection returns the configuration used by cmd/experiments.
+func DefaultInjection(scale Scale) InjectionConfig {
+	cfg := InjectionConfig{Count: 50, Runs: 4, Samples: 800, Seed: 11}
+	switch scale {
+	case ScaleSmall:
+		cfg.TUS = datagen.SmallTUS()
+		cfg.Count = 20
+		cfg.Runs = 2
+		cfg.Samples = 300
+	case ScaleFull:
+		cfg.TUS = datagen.FullTUS()
+		cfg.Samples = 5000
+	default:
+		cfg.TUS = datagen.MediumTUS()
+	}
+	cfg.TUS.Homographs = 0
+	return cfg
+}
+
+// Table2Result reports, per cardinality threshold, the average percentage
+// of injected homographs ranked in the top-Count by betweenness centrality.
+type Table2Result struct {
+	Thresholds []int
+	PctInTop   []float64
+	Count      int
+	Runs       int
+}
+
+// Table2 reproduces the paper's Table 2: vary the minimum cardinality of
+// the attributes whose values are replaced by injected homographs and
+// measure how many injected homographs land in the top-Count of the BC
+// ranking.
+func Table2(cfg InjectionConfig, thresholds []int) (*Table2Result, error) {
+	base := cleanBase(cfg)
+	if thresholds == nil {
+		// The paper sweeps 0..500, and notes that over half of TUS's
+		// attributes hold more than 500 values — i.e. the sweep runs from
+		// "any column" to "at least the median column". Use cardinality
+		// quantiles so reduced configurations sweep the same regime.
+		for _, q := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+			thresholds = append(thresholds, CardinalityQuantile(base.Attrs, q))
+		}
+		thresholds[0] = 0
+	}
+	res := &Table2Result{Thresholds: thresholds, Count: cfg.Count, Runs: cfg.Runs}
+	for _, th := range thresholds {
+		total := 0.0
+		for run := 0; run < cfg.Runs; run++ {
+			frac, err := injectionRun(base, cfg, union.InjectOptions{
+				Count:          cfg.Count,
+				Meanings:       2,
+				MinCardinality: th,
+				Seed:           cfg.Seed + int64(run),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table2 threshold %d run %d: %w", th, run, err)
+			}
+			total += frac
+		}
+		res.PctInTop = append(res.PctInTop, total/float64(cfg.Runs))
+	}
+	return res, nil
+}
+
+// Render prints Table 2.
+func (r *Table2Result) Render() string {
+	rows := make([][]string, len(r.Thresholds))
+	for i, th := range r.Thresholds {
+		label := fmt.Sprintf(">=%d", th)
+		if th == 0 {
+			label = ">0"
+		}
+		rows[i] = []string{label, pct(r.PctInTop[i])}
+	}
+	return fmt.Sprintf("Table 2 — %% of %d injected homographs in top-%d (avg of %d runs)\n",
+		r.Count, r.Count, r.Runs) +
+		renderTable([]string{"cardinality of replaced values", "% in top"}, rows)
+}
+
+// Table3Result reports the same measure while varying the number of
+// meanings of the injected homographs (cardinality fixed at >= 500-scaled).
+type Table3Result struct {
+	Meanings []int
+	PctInTop []float64
+	Count    int
+	Runs     int
+}
+
+// Table3 reproduces the paper's Table 3: inject homographs with 2..8
+// meanings into high-cardinality attributes and measure top-Count hits.
+// A negative minCard selects the median column cardinality, the analogue of
+// the paper's "cardinality of 500 or higher".
+func Table3(cfg InjectionConfig, meanings []int, minCard int) (*Table3Result, error) {
+	if meanings == nil {
+		meanings = []int{2, 3, 4, 5, 6, 7, 8}
+	}
+	base := cleanBase(cfg)
+	if minCard < 0 {
+		minCard = CardinalityQuantile(base.Attrs, 0.5)
+	}
+	res := &Table3Result{Meanings: meanings, Count: cfg.Count, Runs: cfg.Runs}
+	for _, m := range meanings {
+		total := 0.0
+		for run := 0; run < cfg.Runs; run++ {
+			frac, err := injectionRun(base, cfg, union.InjectOptions{
+				Count:          cfg.Count,
+				Meanings:       m,
+				MinCardinality: minCard,
+				Seed:           cfg.Seed + 1000 + int64(run),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table3 meanings %d run %d: %w", m, run, err)
+			}
+			total += frac
+		}
+		res.PctInTop = append(res.PctInTop, total/float64(cfg.Runs))
+	}
+	return res, nil
+}
+
+// Render prints Table 3.
+func (r *Table3Result) Render() string {
+	rows := make([][]string, len(r.Meanings))
+	for i, m := range r.Meanings {
+		rows[i] = []string{itoa(m), pct(r.PctInTop[i])}
+	}
+	return fmt.Sprintf("Table 3 — %% of %d injected homographs in top-%d vs meanings (avg of %d runs)\n",
+		r.Count, r.Count, r.Runs) +
+		renderTable([]string{"# meanings", "% in top"}, rows)
+}
+
+// CardinalityQuantile returns the q-quantile of attribute cardinalities.
+func CardinalityQuantile(attrs []lake.Attribute, q float64) int {
+	if len(attrs) == 0 {
+		return 0
+	}
+	cards := make([]int, len(attrs))
+	for i := range attrs {
+		cards[i] = attrs[i].Cardinality()
+	}
+	sort.Ints(cards)
+	idx := int(q * float64(len(cards)-1))
+	return cards[idx]
+}
+
+// cleanBase generates the homograph-free TUS-I base lake.
+func cleanBase(cfg InjectionConfig) *union.GroundTruth {
+	tusCfg := cfg.TUS
+	tusCfg.Homographs = 0
+	return datagen.TUS(tusCfg).RemoveHomographs()
+}
+
+// injectionRun injects homographs into the clean base, ranks by approximate
+// BC and returns the fraction of injected values in the top-Count.
+func injectionRun(base *union.GroundTruth, cfg InjectionConfig, opts union.InjectOptions) (float64, error) {
+	inj, err := base.Inject(opts)
+	if err != nil {
+		return 0, err
+	}
+	g := bipartite.FromAttributes(inj.GT.Attrs, bipartite.Options{})
+	det := domainnet.FromGraph(g, domainnet.Config{
+		Measure: domainnet.BetweennessApprox,
+		Samples: cfg.Samples,
+		Seed:    opts.Seed,
+	})
+	hits := eval.HitsAtK(det.Ranking(), inj.InjectedSet(), opts.Count)
+	return float64(hits) / float64(opts.Count), nil
+}

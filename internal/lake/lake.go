@@ -1,0 +1,231 @@
+// Package lake models a data lake: a heterogeneous collection of tables with
+// possibly missing, incomplete, or misleading metadata (paper Definition 1).
+//
+// The lake is the unit DomainNet operates on. It exposes the two views the
+// rest of the system needs: a flat iteration over attributes (table columns)
+// and per-attribute sets of normalized values.
+package lake
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"domainnet/internal/table"
+)
+
+// Attribute is a single column of a single table, identified lake-wide by ID
+// (of the form "table.column").
+type Attribute struct {
+	ID     string
+	Table  string
+	Column string
+	// Values holds the distinct normalized values of the column, sorted.
+	// Empty cells are dropped. Cardinality == len(Values).
+	Values []string
+	// Freqs, when non-nil, holds the cell count of each value in this
+	// column, parallel to Values. The paper's pre-processing removes values
+	// that occur only once lake-wide (§5) — a frequency criterion, since a
+	// value repeated within a single column is kept — so builders consuming
+	// attributes need cell counts, not just distinct values. A nil Freqs
+	// means every value counts once.
+	Freqs []int
+}
+
+// Cardinality is the number of distinct (normalized, non-empty) values.
+func (a *Attribute) Cardinality() int { return len(a.Values) }
+
+// Lake is an in-memory data lake.
+type Lake struct {
+	Name   string
+	tables []*table.Table
+	attrs  []Attribute
+	dirty  bool
+}
+
+// New returns an empty lake with the given name.
+func New(name string) *Lake { return &Lake{Name: name} }
+
+// Add appends a table to the lake. The table is validated; structurally
+// unusable tables are rejected so that downstream stages can assume every
+// attribute has at least one value.
+func (l *Lake) Add(t *table.Table) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("lake %q: %w", l.Name, err)
+	}
+	l.tables = append(l.tables, t)
+	l.dirty = true
+	return nil
+}
+
+// MustAdd is Add for programmatically constructed tables known to be valid;
+// it panics on error.
+func (l *Lake) MustAdd(t *table.Table) {
+	if err := l.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Tables returns the tables in insertion order. The slice is shared; callers
+// must not mutate it.
+func (l *Lake) Tables() []*table.Table { return l.tables }
+
+// RemoveTable deletes the named table and reports whether it existed. Lakes
+// are dynamic (paper Definition 1: updates can turn a homograph into an
+// unambiguous value and vice versa, e.g. when the table holding the only
+// alternative meaning is removed); removal invalidates the attribute cache
+// so a re-built graph reflects the new state.
+func (l *Lake) RemoveTable(name string) bool {
+	for i, t := range l.tables {
+		if t.Name == name {
+			l.tables = append(l.tables[:i], l.tables[i+1:]...)
+			l.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// NumTables reports the number of tables in the lake.
+func (l *Lake) NumTables() int { return len(l.tables) }
+
+// Attributes returns one Attribute per table column, in deterministic order
+// (table insertion order, then column order). Values are normalized,
+// de-duplicated and sorted. The result is memoized until the lake changes.
+func (l *Lake) Attributes() []Attribute {
+	if !l.dirty && l.attrs != nil {
+		return l.attrs
+	}
+	attrs := make([]Attribute, 0, l.approxAttrCount())
+	for _, t := range l.tables {
+		for ci := range t.Columns {
+			col := &t.Columns[ci]
+			counts := make(map[string]int, len(col.Values))
+			vals := make([]string, 0, len(col.Values))
+			for _, raw := range col.Values {
+				v := table.Normalize(raw)
+				if table.IsMissing(v) {
+					continue
+				}
+				if counts[v] == 0 {
+					vals = append(vals, v)
+				}
+				counts[v]++
+			}
+			if len(vals) == 0 {
+				continue // column of only empty cells contributes nothing
+			}
+			sort.Strings(vals)
+			freqs := make([]int, len(vals))
+			for i, v := range vals {
+				freqs[i] = counts[v]
+			}
+			attrs = append(attrs, Attribute{
+				ID:     table.AttributeID(t.Name, ci, col.Name),
+				Table:  t.Name,
+				Column: col.Name,
+				Values: vals,
+				Freqs:  freqs,
+			})
+		}
+	}
+	l.attrs = attrs
+	l.dirty = false
+	return attrs
+}
+
+func (l *Lake) approxAttrCount() int {
+	n := 0
+	for _, t := range l.tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// Stats summarizes a lake the way the paper's Table 1 does.
+type Stats struct {
+	Tables     int // number of tables
+	Attributes int // number of columns across all tables
+	Values     int // number of distinct normalized values lake-wide
+	Cells      int // number of non-empty cells (incidence-matrix entries)
+}
+
+// Stats computes summary statistics over the lake.
+func (l *Lake) Stats() Stats {
+	attrs := l.Attributes()
+	values := make(map[string]struct{})
+	cells := 0
+	for i := range attrs {
+		cells += len(attrs[i].Values)
+		for _, v := range attrs[i].Values {
+			values[v] = struct{}{}
+		}
+	}
+	return Stats{
+		Tables:     len(l.tables),
+		Attributes: len(attrs),
+		Values:     len(values),
+		Cells:      cells,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tables=%d attrs=%d values=%d cells=%d", s.Tables, s.Attributes, s.Values, s.Cells)
+}
+
+// ValueAttributes returns, for every distinct normalized value, the indices
+// (into Attributes()) of the attributes containing it. This is the A(n) set
+// of paper Definition 2. Indices are ascending.
+func (l *Lake) ValueAttributes() map[string][]int {
+	attrs := l.Attributes()
+	m := make(map[string][]int)
+	for ai := range attrs {
+		for _, v := range attrs[ai].Values {
+			m[v] = append(m[v], ai)
+		}
+	}
+	return m
+}
+
+// LoadDir reads every *.csv file under dir (non-recursively) into a lake
+// named after the directory. Files that fail to parse abort the load with an
+// error naming the file, because silently skipping tables would change
+// experiment ground truth.
+func LoadDir(dir string) (*Lake, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := New(filepath.Base(dir))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		t, err := table.ReadCSVFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("lake: loading %s: %w", e.Name(), err)
+		}
+		if err := l.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	if l.NumTables() == 0 {
+		return nil, fmt.Errorf("lake: no csv tables found in %s", dir)
+	}
+	return l, nil
+}
+
+// SaveDir writes every table of the lake as a CSV file under dir.
+func (l *Lake) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range l.tables {
+		if err := t.WriteCSVFile(filepath.Join(dir, t.Name+".csv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

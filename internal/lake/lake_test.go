@@ -1,0 +1,158 @@
+package lake
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"domainnet/internal/table"
+)
+
+func twoTableLake(t *testing.T) *Lake {
+	t.Helper()
+	l := New("test")
+	l.MustAdd(table.New("t1").
+		AddColumn("animal", "Panda", "panda ", "Jaguar").
+		AddColumn("zoo", "Memphis", "Atlanta", "San Diego"))
+	l.MustAdd(table.New("t2").
+		AddColumn("make", "Jaguar", "Fiat", ""))
+	return l
+}
+
+func TestAttributesNormalizeAndDedup(t *testing.T) {
+	l := twoTableLake(t)
+	attrs := l.Attributes()
+	if len(attrs) != 3 {
+		t.Fatalf("attrs = %d, want 3", len(attrs))
+	}
+	a := attrs[0]
+	if a.ID != "t1.animal" {
+		t.Errorf("ID = %q", a.ID)
+	}
+	if want := []string{"JAGUAR", "PANDA"}; !reflect.DeepEqual(a.Values, want) {
+		t.Errorf("values = %v, want %v ('panda ' normalized and merged)", a.Values, want)
+	}
+	// PANDA occurred twice (case/space variants): frequency 2.
+	if want := []int{1, 2}; !reflect.DeepEqual(a.Freqs, want) {
+		t.Errorf("freqs = %v, want %v", a.Freqs, want)
+	}
+	// Empty cell in t2.make dropped.
+	if got := attrs[2].Cardinality(); got != 2 {
+		t.Errorf("t2.make cardinality = %d, want 2", got)
+	}
+}
+
+func TestAttributesMemoizedAndInvalidated(t *testing.T) {
+	l := twoTableLake(t)
+	a1 := l.Attributes()
+	a2 := l.Attributes()
+	if &a1[0] != &a2[0] {
+		t.Error("Attributes should be memoized between calls")
+	}
+	l.MustAdd(table.New("t3").AddColumn("x", "1"))
+	if len(l.Attributes()) != 4 {
+		t.Error("Attributes not recomputed after Add")
+	}
+}
+
+func TestAddRejectsInvalidTable(t *testing.T) {
+	l := New("test")
+	if err := l.Add(table.New("bad")); err == nil {
+		t.Error("table without columns should be rejected")
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := twoTableLake(t)
+	s := l.Stats()
+	if s.Tables != 2 || s.Attributes != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Distinct values: JAGUAR, PANDA, MEMPHIS, ATLANTA, SAN DIEGO, FIAT.
+	if s.Values != 6 {
+		t.Errorf("values = %d, want 6", s.Values)
+	}
+	// Cells: 2 + 3 + 2 distinct entries.
+	if s.Cells != 7 {
+		t.Errorf("cells = %d, want 7", s.Cells)
+	}
+}
+
+func TestValueAttributes(t *testing.T) {
+	l := twoTableLake(t)
+	va := l.ValueAttributes()
+	if got := va["JAGUAR"]; !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("JAGUAR attrs = %v, want [0 2]", got)
+	}
+	if got := va["FIAT"]; !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("FIAT attrs = %v", got)
+	}
+}
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lake")
+	l := twoTableLake(t)
+	if err := l.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTables() != 2 {
+		t.Fatalf("tables = %d, want 2", back.NumTables())
+	}
+	// Attribute sets must survive the round trip (order by table name).
+	origVals := attrValueSet(l)
+	backVals := attrValueSet(back)
+	if !reflect.DeepEqual(origVals, backVals) {
+		t.Errorf("round trip changed values:\norig %v\nback %v", origVals, backVals)
+	}
+}
+
+func attrValueSet(l *Lake) map[string][]string {
+	out := map[string][]string{}
+	for _, a := range l.Attributes() {
+		vals := append([]string(nil), a.Values...)
+		sort.Strings(vals)
+		out[a.ID] = vals
+	}
+	return out
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(os.TempDir(), "missing-dir-3q9")); err == nil {
+		t.Error("missing dir should error")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("dir without csv should error")
+	}
+	// Malformed CSV aborts the load with the file named.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "bad.csv"), []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("empty csv file should abort the load")
+	}
+}
+
+func TestLoadDirSkipsNonCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "t.csv"), []byte("a\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTables() != 1 {
+		t.Errorf("tables = %d, want 1", l.NumTables())
+	}
+}

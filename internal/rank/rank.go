@@ -1,0 +1,55 @@
+// Package rank turns per-node centrality scores into the ordered candidate
+// lists DomainNet presents to the user (paper §3.4, step 3): descending for
+// betweenness centrality, ascending for the local clustering coefficient.
+package rank
+
+import "sort"
+
+// Scored pairs a data value with its centrality score.
+type Scored struct {
+	Value string
+	Score float64
+}
+
+// Order selects the sort direction of a ranking.
+type Order int
+
+const (
+	// Descending ranks high scores first (betweenness centrality:
+	// homographs are hypothesized to score high).
+	Descending Order = iota
+	// Ascending ranks low scores first (local clustering coefficient:
+	// homographs are hypothesized to score low).
+	Ascending
+)
+
+// Values ranks the value nodes of a graph by score. values[i] must be the
+// data value of node i and scores[i] its score; only the first len(values)
+// entries of scores are consulted, so a full-graph score slice (including
+// attribute nodes) can be passed directly. Ties break lexicographically by
+// value so rankings are deterministic.
+func Values(values []string, scores []float64, order Order) []Scored {
+	out := make([]Scored, len(values))
+	for i, v := range values {
+		out[i] = Scored{Value: v, Score: scores[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			if order == Descending {
+				return out[i].Score > out[j].Score
+			}
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// TopK returns the first k entries of a ranking (fewer when the ranking is
+// shorter).
+func TopK(ranking []Scored, k int) []Scored {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	return ranking[:k]
+}

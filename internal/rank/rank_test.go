@@ -1,0 +1,75 @@
+package rank
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValuesDescending(t *testing.T) {
+	got := Values([]string{"A", "B", "C"}, []float64{0.1, 0.9, 0.5}, Descending)
+	want := []Scored{{"B", 0.9}, {"C", 0.5}, {"A", 0.1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestValuesAscending(t *testing.T) {
+	got := Values([]string{"A", "B", "C"}, []float64{0.1, 0.9, 0.5}, Ascending)
+	want := []Scored{{"A", 0.1}, {"C", 0.5}, {"B", 0.9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestValuesTieBreakLexicographic(t *testing.T) {
+	got := Values([]string{"Z", "A", "M"}, []float64{1, 1, 1}, Descending)
+	want := []Scored{{"A", 1}, {"M", 1}, {"Z", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ties: got %v, want %v", got, want)
+	}
+}
+
+func TestValuesAcceptsFullGraphScores(t *testing.T) {
+	// Scores longer than values (attribute-node tail) are tolerated.
+	got := Values([]string{"A", "B"}, []float64{0.5, 0.7, 99, 98}, Descending)
+	if len(got) != 2 || got[0].Value != "B" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	r := []Scored{{"A", 3}, {"B", 2}, {"C", 1}}
+	if got := TopK(r, 2); len(got) != 2 || got[1].Value != "B" {
+		t.Errorf("TopK(2) = %v", got)
+	}
+	if got := TopK(r, 10); len(got) != 3 {
+		t.Errorf("TopK(10) = %v, want all 3", got)
+	}
+	if got := TopK(r, 0); len(got) != 0 {
+		t.Errorf("TopK(0) = %v, want empty", got)
+	}
+}
+
+func TestRankingIsPermutationProperty(t *testing.T) {
+	f := func(scores []float64) bool {
+		values := make([]string, len(scores))
+		for i := range values {
+			values[i] = string(rune('A'+i%26)) + string(rune('0'+i%10))
+		}
+		ranked := Values(values, scores, Descending)
+		if len(ranked) != len(values) {
+			return false
+		}
+		// Monotone non-increasing.
+		for i := 1; i < len(ranked); i++ {
+			if ranked[i-1].Score < ranked[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package table
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "name,city\nAlice,Boston\nBob,Denver\n"
+	tab, err := ReadCSV("people", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumColumns() != 2 || tab.NumRows() != 2 {
+		t.Fatalf("shape %dx%d, want 2x2", tab.NumColumns(), tab.NumRows())
+	}
+	if tab.Columns[1].Values[0] != "Boston" {
+		t.Errorf("cell = %q", tab.Columns[1].Values[0])
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	in := "a,b\n1,2,3\n4\n"
+	tab, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumColumns() != 3 {
+		t.Fatalf("columns = %d, want 3 (widened by long row)", tab.NumColumns())
+	}
+	if got := tab.Column(2).Values; got[0] != "3" || got[1] != "" {
+		t.Errorf("widened column = %v", got)
+	}
+	if got := tab.Column(0).Values; got[1] != "4" {
+		t.Errorf("short row cell = %q, want 4", got[1])
+	}
+}
+
+func TestReadCSVEmptyHeaderNames(t *testing.T) {
+	in := ",b,\n1,2,3\n"
+	tab, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Columns[0].Name != "col0" || tab.Columns[2].Name != "col2" {
+		t.Errorf("positional names: %q %q", tab.Columns[0].Name, tab.Columns[2].Name)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty csv should error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n")); err == nil {
+		t.Error("header-only csv should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := New("rt").
+		AddColumn("a", "1", "2").
+		AddColumn("b", "with,comma", `with "quote"`)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumColumns() != 2 || back.NumRows() != 2 {
+		t.Fatalf("shape %dx%d", back.NumColumns(), back.NumRows())
+	}
+	for c := range orig.Columns {
+		for r := range orig.Columns[c].Values {
+			if got, want := back.Columns[c].Values[r], orig.Columns[c].Values[r]; got != want {
+				t.Errorf("cell (%d,%d) = %q, want %q", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "x.csv")
+	orig := New("x").AddColumn("a", "1")
+	if err := orig.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "x" {
+		t.Errorf("name = %q, want x (from file base)", back.Name)
+	}
+}
+
+func TestWriteCSVPadsRaggedColumns(t *testing.T) {
+	tab := New("t").AddColumn("a", "1", "2").AddColumn("b", "x")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,x\n2,\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile(filepath.Join(os.TempDir(), "definitely-missing-9x7.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}

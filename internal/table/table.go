@@ -1,0 +1,123 @@
+// Package table models relational tables as they occur in data lakes:
+// named collections of columns holding string-typed cell values.
+//
+// Data lakes are schema-light: attribute names may be missing, ambiguous or
+// wrong, and cell values are the only reliable signal (paper §3.1). The
+// Table type therefore stores values as strings and leaves all semantic
+// interpretation to higher layers.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column is a single attribute of a table: a name (possibly empty or
+// meaningless, as is common in data lakes) and the cell values in row order.
+type Column struct {
+	Name   string
+	Values []string
+}
+
+// Table is a named collection of columns. Columns may have different
+// lengths; a data lake loader never assumes rectangular data.
+type Table struct {
+	Name    string
+	Columns []Column
+}
+
+// New returns a table with the given name and no columns.
+func New(name string) *Table {
+	return &Table{Name: name}
+}
+
+// AddColumn appends a column built from name and values and returns the
+// receiver for chaining.
+func (t *Table) AddColumn(name string, values ...string) *Table {
+	t.Columns = append(t.Columns, Column{Name: name, Values: values})
+	return t
+}
+
+// NumColumns reports the number of columns (attributes) in the table.
+func (t *Table) NumColumns() int { return len(t.Columns) }
+
+// NumRows reports the length of the longest column. For rectangular tables
+// this is the row count.
+func (t *Table) NumRows() int {
+	n := 0
+	for i := range t.Columns {
+		if len(t.Columns[i].Values) > n {
+			n = len(t.Columns[i].Values)
+		}
+	}
+	return n
+}
+
+// Column returns the i-th column. It panics if i is out of range, mirroring
+// slice indexing.
+func (t *Table) Column(i int) *Column { return &t.Columns[i] }
+
+// ColumnByName returns the first column with the given name, or nil.
+func (t *Table) ColumnByName(name string) *Column {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// Row returns the values of row i across all columns. Columns shorter than
+// i+1 contribute an empty string. The slice is freshly allocated.
+func (t *Table) Row(i int) []string {
+	row := make([]string, len(t.Columns))
+	for c := range t.Columns {
+		if i < len(t.Columns[c].Values) {
+			row[c] = t.Columns[c].Values[i]
+		}
+	}
+	return row
+}
+
+// Validate reports an error when the table is structurally unusable:
+// empty name, no columns, or a column with no values at all. Ragged
+// (non-rectangular) tables are permitted.
+func (t *Table) Validate() error {
+	if strings.TrimSpace(t.Name) == "" {
+		return fmt.Errorf("table: empty table name")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("table %q: no columns", t.Name)
+	}
+	for i := range t.Columns {
+		if len(t.Columns[i].Values) == 0 {
+			return fmt.Errorf("table %q: column %d (%q) has no values", t.Name, i, t.Columns[i].Name)
+		}
+	}
+	return nil
+}
+
+// AttributeID identifies a column globally within a lake as "table.column".
+// When the column name is empty the positional form "table.col<i>" is used,
+// which keeps IDs unique and stable for metadata-poor lakes.
+func AttributeID(tableName string, colIndex int, colName string) string {
+	if strings.TrimSpace(colName) == "" {
+		return fmt.Sprintf("%s.col%d", tableName, colIndex)
+	}
+	return tableName + "." + colName
+}
+
+// Normalize canonicalizes a cell value the way DomainNet compares values
+// across the lake (paper §3.2): leading/trailing white-space is removed and
+// the value is upper-cased so that "jaguar", " Jaguar " and "JAGUAR" denote
+// the same value node.
+func Normalize(v string) string {
+	return strings.ToUpper(strings.TrimSpace(v))
+}
+
+// IsMissing reports whether a normalized value should be treated as an empty
+// cell and skipped during graph construction. Only the truly empty string is
+// treated as missing: explicit null markers such as "NA", "-" or "." are
+// genuine data values in a lake — indeed the paper shows "." is one of the
+// strongest homographs in TUS — so they are kept.
+func IsMissing(norm string) bool { return norm == "" }

@@ -1,0 +1,114 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddColumnAndShape(t *testing.T) {
+	tab := New("t").
+		AddColumn("a", "1", "2", "3").
+		AddColumn("b", "x", "y")
+	if got := tab.NumColumns(); got != 2 {
+		t.Errorf("NumColumns = %d, want 2", got)
+	}
+	if got := tab.NumRows(); got != 3 {
+		t.Errorf("NumRows = %d, want 3 (longest column)", got)
+	}
+}
+
+func TestRowPadsShortColumns(t *testing.T) {
+	tab := New("t").AddColumn("a", "1", "2").AddColumn("b", "x")
+	row := tab.Row(1)
+	if row[0] != "2" || row[1] != "" {
+		t.Errorf("Row(1) = %v, want [2 '']", row)
+	}
+}
+
+func TestColumnByName(t *testing.T) {
+	tab := New("t").AddColumn("a", "1").AddColumn("b", "2")
+	if c := tab.ColumnByName("b"); c == nil || c.Values[0] != "2" {
+		t.Errorf("ColumnByName(b) = %v", c)
+	}
+	if c := tab.ColumnByName("missing"); c != nil {
+		t.Errorf("ColumnByName(missing) = %v, want nil", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *Table
+		ok   bool
+	}{
+		{"valid", New("t").AddColumn("a", "1"), true},
+		{"empty name", New("  ").AddColumn("a", "1"), false},
+		{"no columns", New("t"), false},
+		{"empty column", New("t").AddColumn("a"), false},
+	}
+	for _, c := range cases {
+		err := c.tab.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestAttributeID(t *testing.T) {
+	if got := AttributeID("t", 0, "name"); got != "t.name" {
+		t.Errorf("got %q", got)
+	}
+	if got := AttributeID("t", 3, "  "); got != "t.col3" {
+		t.Errorf("positional fallback: got %q", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		" jaguar ":  "JAGUAR",
+		"JAGUAR":    "JAGUAR",
+		"\tPuma\n":  "PUMA",
+		"":          "",
+		"  ":        "",
+		"a b":       "A B",
+		"Ärger":     "ÄRGER",
+		"123-x":     "123-X",
+		"Not Avail": "NOT AVAIL",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool { return Normalize(Normalize(s)) == Normalize(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeNeverPadded(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		return n == strings.TrimSpace(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsMissing(t *testing.T) {
+	if !IsMissing("") {
+		t.Error("empty string should be missing")
+	}
+	// Explicit null markers are data values in a lake (the paper finds "."
+	// to be a strong homograph), so they are NOT missing.
+	for _, v := range []string{".", "NA", "-", "NULL", "0"} {
+		if IsMissing(v) {
+			t.Errorf("%q should not be treated as missing", v)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package union models the unionability ground truth of the Table Union
+// Search benchmark (paper §4.2) and the homograph-injection protocol of the
+// TUS-I variant (§4.3).
+//
+// Attributes carry a union-class id; two attributes are unionable exactly
+// when their classes match. Definition 2 then labels a value a homograph iff
+// it appears in two attributes of different classes.
+package union
+
+import (
+	"fmt"
+	"sort"
+
+	"domainnet/internal/lake"
+)
+
+// GroundTruth pairs a lake's attributes with their union classes.
+// ClassOf[i] is the union class of Attrs[i]; class ids are opaque ints.
+type GroundTruth struct {
+	Attrs   []lake.Attribute
+	ClassOf []int
+}
+
+// Validate reports structural problems: length mismatch or negative class.
+func (gt *GroundTruth) Validate() error {
+	if len(gt.Attrs) != len(gt.ClassOf) {
+		return fmt.Errorf("union: %d attributes but %d class labels", len(gt.Attrs), len(gt.ClassOf))
+	}
+	for i, c := range gt.ClassOf {
+		if c < 0 {
+			return fmt.Errorf("union: attribute %d has negative class %d", i, c)
+		}
+	}
+	return nil
+}
+
+// NumClasses reports the number of distinct union classes.
+func (gt *GroundTruth) NumClasses() int {
+	seen := make(map[int]struct{})
+	for _, c := range gt.ClassOf {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// valueClasses returns, per value, the sorted distinct union classes of the
+// attributes containing it.
+func (gt *GroundTruth) valueClasses() map[string][]int {
+	m := make(map[string]map[int]struct{})
+	for ai := range gt.Attrs {
+		c := gt.ClassOf[ai]
+		for _, v := range gt.Attrs[ai].Values {
+			set, ok := m[v]
+			if !ok {
+				set = make(map[int]struct{}, 1)
+				m[v] = set
+			}
+			set[c] = struct{}{}
+		}
+	}
+	out := make(map[string][]int, len(m))
+	for v, set := range m {
+		classes := make([]int, 0, len(set))
+		for c := range set {
+			classes = append(classes, c)
+		}
+		sort.Ints(classes)
+		out[v] = classes
+	}
+	return out
+}
+
+// HomographLabels labels every value per Definition 2: true when the value
+// occurs in attributes of at least two different union classes.
+func (gt *GroundTruth) HomographLabels() map[string]bool {
+	vc := gt.valueClasses()
+	out := make(map[string]bool, len(vc))
+	for v, classes := range vc {
+		out[v] = len(classes) >= 2
+	}
+	return out
+}
+
+// Homographs returns the sorted list of homograph values.
+func (gt *GroundTruth) Homographs() []string {
+	labels := gt.HomographLabels()
+	var out []string
+	for v, h := range labels {
+		if h {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Meanings reports the number of distinct meanings (union classes) of a
+// value; 0 when the value does not occur.
+func (gt *GroundTruth) Meanings(value string) int {
+	// Computed on demand; callers needing many lookups should use
+	// MeaningCounts.
+	return gt.MeaningCounts()[value]
+}
+
+// MeaningCounts returns the number of distinct union classes per value.
+func (gt *GroundTruth) MeaningCounts() map[string]int {
+	vc := gt.valueClasses()
+	out := make(map[string]int, len(vc))
+	for v, classes := range vc {
+		out[v] = len(classes)
+	}
+	return out
+}
+
+// RemoveHomographs returns a deep-copied ground truth in which every
+// homograph occurrence is rewritten to a class-qualified variant
+// ("VALUE#C<class>"), making each variant unambiguous while preserving all
+// attribute cardinalities and co-occurrence structure. This mirrors the
+// TUS-I construction ("first, we removed all homographs", §4.3) without
+// shrinking columns.
+func (gt *GroundTruth) RemoveHomographs() *GroundTruth {
+	labels := gt.HomographLabels()
+	out := &GroundTruth{
+		Attrs:   make([]lake.Attribute, len(gt.Attrs)),
+		ClassOf: append([]int(nil), gt.ClassOf...),
+	}
+	for ai := range gt.Attrs {
+		src := &gt.Attrs[ai]
+		dst := &out.Attrs[ai]
+		dst.ID, dst.Table, dst.Column = src.ID, src.Table, src.Column
+		dst.Values = make([]string, len(src.Values))
+		if src.Freqs != nil {
+			dst.Freqs = append([]int(nil), src.Freqs...)
+		}
+		c := gt.ClassOf[ai]
+		for i, v := range src.Values {
+			if labels[v] {
+				dst.Values[i] = fmt.Sprintf("%s#C%d", v, c)
+			} else {
+				dst.Values[i] = v
+			}
+		}
+		sortValuesWithFreqs(dst.Values, dst.Freqs)
+	}
+	return out
+}
+
+// sortValuesWithFreqs sorts values ascending, permuting the parallel freqs
+// slice (which may be nil) alongside.
+func sortValuesWithFreqs(values []string, freqs []int) {
+	if freqs == nil {
+		sort.Strings(values)
+		return
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	vOut := make([]string, len(values))
+	fOut := make([]int, len(freqs))
+	for pos, i := range idx {
+		vOut[pos] = values[i]
+		fOut[pos] = freqs[i]
+	}
+	copy(values, vOut)
+	copy(freqs, fOut)
+}
