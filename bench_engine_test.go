@@ -1,0 +1,91 @@
+package bench
+
+// Engine-focused benchmarks: worker-count sweeps proving that exact Brandes
+// betweenness and bipartite graph construction scale with parallelism while
+// holding scratch allocation at O(workers), independent of the source count.
+// Run with -benchmem; the allocs/op column is the O(workers) claim.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/centrality"
+	"domainnet/internal/datagen"
+	"domainnet/internal/engine"
+)
+
+// workerSweep returns deduplicated worker counts up to GOMAXPROCS.
+func workerSweep() []int {
+	max := runtime.GOMAXPROCS(0)
+	var out []int
+	for _, w := range []int{1, 2, 4, 8, max} {
+		if w > max {
+			break
+		}
+		if len(out) == 0 || out[len(out)-1] != w {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkEngineBrandesWorkers sweeps exact Brandes BC over the SB graph by
+// worker count. Scratch is one pooled arena per worker; allocs/op stays flat
+// as sources (= nodes) grow.
+func BenchmarkEngineBrandesWorkers(b *testing.B) {
+	sb := datagen.NewSB(1)
+	g := bipartite.FromLake(sb.Lake, bipartite.Options{})
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				centrality.Betweenness(g, engine.Opts{Normalized: true, Workers: w})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGraphBuildWorkers sweeps parallel bipartite construction on
+// the NYC-scale generator by worker count.
+func BenchmarkEngineGraphBuildWorkers(b *testing.B) {
+	attrs := datagen.NYC(datagen.NYCConfig{Scale: 0.05, Seed: 1})
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := bipartite.FromAttributes(attrs, bipartite.Options{Workers: w})
+				if g.NumEdges() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineHarmonicSB times the (now parallel) exact harmonic pass.
+func BenchmarkEngineHarmonicSB(b *testing.B) {
+	sb := datagen.NewSB(1)
+	g := bipartite.FromLake(sb.Lake, bipartite.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Harmonic(g, engine.Opts{})
+	}
+}
+
+// BenchmarkEngineValueNeighbors times the bitset-based co-occurrence
+// neighborhood, the N(u) primitive behind Table 1 cardinalities.
+func BenchmarkEngineValueNeighbors(b *testing.B) {
+	sb := datagen.NewSB(1)
+	g := bipartite.FromLake(sb.Lake, bipartite.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(i % g.NumValues())
+		if got := g.ValueNeighbors(u); len(got) > g.NumValues() {
+			b.Fatal("impossible neighborhood")
+		}
+	}
+}

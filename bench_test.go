@@ -20,6 +20,7 @@ import (
 	"domainnet/internal/d4"
 	"domainnet/internal/datagen"
 	"domainnet/internal/domainnet"
+	"domainnet/internal/engine"
 	"domainnet/internal/eval"
 	"domainnet/internal/experiments"
 )
@@ -188,7 +189,7 @@ func BenchmarkLCCOnTUS(b *testing.B) {
 	g := bipartite.FromAttributes(gt.Attrs, bipartite.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		centrality.LCCAttributeJaccard(g)
+		centrality.LCCAttributeJaccard(g, engine.Opts{})
 	}
 }
 
@@ -198,7 +199,7 @@ func BenchmarkExactLCCOnSB(b *testing.B) {
 	g := bipartite.FromLake(sb.Lake, bipartite.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		centrality.LCC(g)
+		centrality.LCC(g, engine.Opts{})
 	}
 }
 
@@ -209,10 +210,10 @@ func BenchmarkApproxBCSampling(b *testing.B) {
 	g := bipartite.FromAttributes(gt.Attrs, bipartite.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		centrality.ApproxBetweenness(g, centrality.ApproxOptions{
-			BCOptions: centrality.BCOptions{Normalized: true},
-			Samples:   400,
-			Seed:      int64(i),
+		centrality.ApproxBetweenness(g, engine.Opts{
+			Normalized: true,
+			Samples:    400,
+			Seed:       int64(i),
 		})
 	}
 }
@@ -230,7 +231,7 @@ func BenchmarkAblationEndpointsValuesOnly(b *testing.B) {
 	b.ResetTimer()
 	hits := 0
 	for i := 0; i < b.N; i++ {
-		scores := centrality.Betweenness(g, centrality.BCOptions{
+		scores := centrality.Betweenness(g, engine.Opts{
 			Normalized:          true,
 			EndpointsValuesOnly: true,
 			ValueNodeCount:      g.NumValues(),
@@ -283,10 +284,10 @@ func BenchmarkAblationTripartiteRows(b *testing.B) {
 	b.ResetTimer()
 	hits := 0
 	for i := 0; i < b.N; i++ {
-		scores := centrality.ApproxBetweenness(g, centrality.ApproxOptions{
-			BCOptions: centrality.BCOptions{Normalized: true},
-			Samples:   g.NumNodes() / 20,
-			Seed:      1,
+		scores := centrality.ApproxBetweenness(g, engine.Opts{
+			Normalized: true,
+			Samples:    g.NumNodes() / 20,
+			Seed:       1,
 		})
 		hits = rankedHits(g, scores, truth)
 	}
@@ -449,7 +450,7 @@ func BenchmarkBrandesExactSB(b *testing.B) {
 	g := bipartite.FromLake(sb.Lake, bipartite.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		centrality.Betweenness(g, centrality.BCOptions{Normalized: true})
+		centrality.Betweenness(g, engine.Opts{Normalized: true})
 	}
 }
 
@@ -466,7 +467,7 @@ func BenchmarkRandomGraphMix(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := subs[i%len(subs)]
-		centrality.ApproxBetweenness(g, centrality.ApproxOptions{
+		centrality.ApproxBetweenness(g, engine.Opts{
 			Samples: 50, Seed: int64(i),
 		})
 	}

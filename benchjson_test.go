@@ -1,0 +1,132 @@
+package bench
+
+// Machine-readable benchmark snapshots. TestEmitBenchJSON measures the
+// pipeline's hot stages with testing.Benchmark and writes BENCH_<date>.json
+// in the repository root, so successive PRs can diff ns/op per stage without
+// parsing `go test -bench` text output.
+//
+// The emitter is opt-in — set DOMAINNET_BENCH_JSON=1 — because it runs real
+// benchmarks and would slow every plain `go test ./...` invocation:
+//
+//	DOMAINNET_BENCH_JSON=1 go test -run TestEmitBenchJSON .
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/centrality"
+	"domainnet/internal/datagen"
+	"domainnet/internal/engine"
+)
+
+// benchStage is one timed pipeline stage.
+type benchStage struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+	MBPerSec    float64 `json:"-"`
+}
+
+// benchReport is the BENCH_<date>.json schema.
+type benchReport struct {
+	Schema     int          `json:"schema"`
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Stages     []benchStage `json:"stages"`
+}
+
+func TestEmitBenchJSON(t *testing.T) {
+	if os.Getenv("DOMAINNET_BENCH_JSON") == "" {
+		t.Skip("set DOMAINNET_BENCH_JSON=1 to measure stages and write BENCH_<date>.json")
+	}
+
+	gt := datagen.TUS(datagen.SmallTUS())
+	tusGraph := bipartite.FromAttributes(gt.Attrs, bipartite.Options{})
+	sb := datagen.NewSB(1)
+	sbGraph := bipartite.FromLake(sb.Lake, bipartite.Options{})
+	nycAttrs := datagen.NYC(datagen.NYCConfig{Scale: 0.05, Seed: 1})
+
+	stages := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"graph_build_tus", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bipartite.FromAttributes(gt.Attrs, bipartite.Options{})
+			}
+		}},
+		{"graph_build_nyc", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bipartite.FromAttributes(nycAttrs, bipartite.Options{})
+			}
+		}},
+		{"brandes_exact_sb", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				centrality.Betweenness(sbGraph, engine.Opts{Normalized: true})
+			}
+		}},
+		{"approx_bc_400_tus", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				centrality.ApproxBetweenness(tusGraph, engine.Opts{
+					Normalized: true, Samples: 400, Seed: 1,
+				})
+			}
+		}},
+		{"lcc_attr_jaccard_tus", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				centrality.LCCAttributeJaccard(tusGraph, engine.Opts{})
+			}
+		}},
+		{"lcc_exact_sb", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				centrality.LCC(sbGraph, engine.Opts{})
+			}
+		}},
+		{"harmonic_exact_sb", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				centrality.Harmonic(sbGraph, engine.Opts{})
+			}
+		}},
+	}
+
+	report := benchReport{
+		Schema:     1,
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range stages {
+		r := testing.Benchmark(s.fn)
+		report.Stages = append(report.Stages, benchStage{
+			Name:        s.name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+		t.Logf("%-22s %12d ns/op %12d B/op %8d allocs/op",
+			s.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := fmt.Sprintf("BENCH_%s.json", report.Date)
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

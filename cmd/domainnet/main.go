@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	domainnet -dir path/to/lake [-k 50] [-measure bc|bc-exact|lcc|lcc-attr|degree]
+//	domainnet -dir path/to/lake [-k 50] [-workers 0]
+//	          [-measure bc|bc-exact|bc-eps|lcc|lcc-attr|degree|harmonic]
 //	          [-samples 0] [-seed 1] [-keep-singletons] [-stats]
 package main
 
@@ -12,17 +13,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"domainnet/internal/domainnet"
 	"domainnet/internal/lake"
 )
 
+// measureFlags maps flag spellings to detector measures; every entry resolves
+// to a Scorer in the engine registry.
+var measureFlags = map[string]domainnet.Measure{
+	"bc":       domainnet.BetweennessApprox,
+	"bc-exact": domainnet.BetweennessExact,
+	"bc-eps":   domainnet.BetweennessEpsilon,
+	"lcc":      domainnet.LCC,
+	"lcc-attr": domainnet.LCCAttr,
+	"degree":   domainnet.DegreeBaseline,
+	"harmonic": domainnet.HarmonicBaseline,
+}
+
 func main() {
 	dir := flag.String("dir", "", "directory of CSV tables (required)")
 	k := flag.Int("k", 50, "number of homograph candidates to print")
-	measure := flag.String("measure", "bc", "scoring measure: bc, bc-exact, lcc, lcc-attr or degree")
+	measure := flag.String("measure", "bc", "scoring measure: bc, bc-exact, bc-eps, lcc, lcc-attr, degree or harmonic")
 	samples := flag.Int("samples", 0, "approximate-BC sample count (0 = 1% of nodes)")
 	seed := flag.Int64("seed", 1, "random seed for sampling")
+	workers := flag.Int("workers", 0, "parallelism for graph build and scoring (0 = all CPUs)")
 	keep := flag.Bool("keep-singletons", false, "keep values occurring only once")
 	stats := flag.Bool("stats", false, "print lake and graph statistics")
 	flag.Parse()
@@ -32,20 +48,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	var m domainnet.Measure
-	switch *measure {
-	case "bc":
-		m = domainnet.BetweennessApprox
-	case "bc-exact":
-		m = domainnet.BetweennessExact
-	case "lcc":
-		m = domainnet.LCC
-	case "lcc-attr":
-		m = domainnet.LCCAttr
-	case "degree":
-		m = domainnet.DegreeBaseline
-	default:
-		fmt.Fprintf(os.Stderr, "unknown measure %q\n", *measure)
+	m, ok := measureFlags[*measure]
+	if !ok {
+		spellings := make([]string, 0, len(measureFlags))
+		for name := range measureFlags {
+			spellings = append(spellings, name)
+		}
+		sort.Strings(spellings)
+		fmt.Fprintf(os.Stderr, "unknown measure %q (valid: %s; scorer registry: %s)\n",
+			*measure, strings.Join(spellings, ", "), strings.Join(domainnet.Scorers(), ", "))
 		os.Exit(2)
 	}
 
@@ -59,6 +70,7 @@ func main() {
 		Measure:        m,
 		Samples:        *samples,
 		Seed:           *seed,
+		Workers:        *workers,
 		KeepSingletons: *keep,
 	})
 

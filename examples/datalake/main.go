@@ -37,8 +37,9 @@ func main() {
 	truth := sb.HomographSet()
 	k := len(sb.Homographs)
 
-	// Betweenness centrality: the recommended measure.
-	bc := domainnet.New(loaded, domainnet.Config{Measure: domainnet.BetweennessExact})
+	// Betweenness centrality: the recommended measure. Workers: 0 (the
+	// default) parallelizes graph build and scoring over all CPUs.
+	bc := domainnet.New(loaded, domainnet.Config{Measure: domainnet.BetweennessExact, Workers: 0})
 	bcMetrics := eval.AtK(bc.Ranking(), truth, k)
 	fmt.Printf("betweenness:  P@%d = %.3f\n", k, bcMetrics.Precision)
 

@@ -17,7 +17,11 @@ import (
 
 func main() {
 	lake := datagen.Figure1Lake()
-	fmt.Printf("data lake %q: %s\n\n", lake.Name, lake.Stats())
+	fmt.Printf("data lake %q: %s\n", lake.Name, lake.Stats())
+
+	// Every measure is a Scorer in the engine registry; the Measure constants
+	// below are names into it.
+	fmt.Printf("registered scorers: %v\n\n", domainnet.Scorers())
 
 	// Step 1+2: build the bipartite value/attribute graph and score every
 	// value node with exact betweenness centrality (the lake is tiny).

@@ -1,0 +1,3 @@
+module domainnet
+
+go 1.24

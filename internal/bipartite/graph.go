@@ -15,8 +15,13 @@ package bipartite
 
 import (
 	"fmt"
+	"hash/maphash"
+	"math/bits"
+	"slices"
 	"sort"
+	"sync/atomic"
 
+	"domainnet/internal/engine"
 	"domainnet/internal/lake"
 )
 
@@ -107,6 +112,10 @@ type Options struct {
 	// within a single column are kept (they yield degree-1 value nodes),
 	// matching the node/edge counts the paper reports for SB.
 	KeepSingletons bool
+	// Workers bounds construction parallelism (occurrence counting, degree
+	// counting, adjacency fill, neighbor sorting). Zero means GOMAXPROCS.
+	// The resulting graph is identical for every worker count.
+	Workers int
 }
 
 // FromLake builds the DomainNet bipartite graph of a lake.
@@ -114,30 +123,22 @@ func FromLake(l *lake.Lake, opts Options) *Graph {
 	return FromAttributes(l.Attributes(), opts)
 }
 
+// valueHashSeed shards values consistently across the build phases of one
+// process; the seed is arbitrary (only shard balance matters, never output).
+var valueHashSeed = maphash.MakeSeed()
+
 // FromAttributes builds the graph from an explicit attribute list. Each
 // attribute's Values must be distinct and normalized (lake.Attributes
-// guarantees this).
+// guarantees this). Every phase — occurrence counting, degree counting,
+// adjacency fill, neighbor sorting — runs sharded across opts.Workers, and
+// the resulting graph is bit-identical for every worker count.
 func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
-	// First pass: total cell count per value (a nil Freqs counts one cell
-	// per attribute occurrence).
-	occ := make(map[string]int64, 1024)
-	for i := range attrs {
-		for j, v := range attrs[i].Values {
-			f := int64(1)
-			if attrs[i].Freqs != nil {
-				f = int64(attrs[i].Freqs[j])
-			}
-			occ[v] += f
-		}
-	}
+	nAttr := len(attrs)
+	workers := engine.Opts{Workers: opts.Workers}.EffectiveWorkers(nAttr)
 
-	// Assign ids to (retained) values in deterministic (sorted) order.
-	retained := make([]string, 0, len(occ))
-	for v, c := range occ {
-		if opts.KeepSingletons || c >= 2 {
-			retained = append(retained, v)
-		}
-	}
+	retained := countAndRetain(attrs, opts, workers)
+
+	// Assign ids to retained values in deterministic (sorted) order.
 	sort.Strings(retained)
 	valueIndex := make(map[string]int32, len(retained))
 	for i, v := range retained {
@@ -145,44 +146,56 @@ func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
 	}
 
 	nVal := len(retained)
-	nAttr := len(attrs)
 	n := nVal + nAttr
 
-	// Degree counting pass.
+	// Degree counting pass, parallel over attributes. Each attribute node's
+	// degree cell is owned by exactly one worker; value-node cells are shared
+	// and bumped atomically.
 	deg := make([]int64, n+1)
-	for ai := range attrs {
-		a := int32(nVal + ai)
-		for _, v := range attrs[ai].Values {
-			vi, ok := valueIndex[v]
-			if !ok {
-				continue
+	engine.Parallel(workers, nAttr, func(_, lo, hi int) {
+		for ai := lo; ai < hi; ai++ {
+			a := int32(nVal + ai)
+			count := int64(0)
+			for _, v := range attrs[ai].Values {
+				vi, ok := valueIndex[v]
+				if !ok {
+					continue
+				}
+				atomic.AddInt64(&deg[vi+1], 1)
+				count++
 			}
-			deg[vi+1]++
-			deg[a+1]++
+			deg[a+1] = count
 		}
-	}
+	})
 	offsets := make([]int64, n+1)
 	for i := 1; i <= n; i++ {
 		offsets[i] = offsets[i-1] + deg[i]
 	}
+
+	// Adjacency fill, parallel over attributes: each attribute's own CSR
+	// range is exclusive to its worker, while value-side slots are claimed
+	// through per-node atomic cursors. Fill order is nondeterministic; the
+	// sorting pass below canonicalizes it.
 	adj := make([]int32, offsets[n])
-	next := make([]int64, n)
-	copy(next, offsets[:n])
+	next := make([]int64, nVal)
+	copy(next, offsets[:nVal])
 	attrIDs := make([]string, nAttr)
-	for ai := range attrs {
-		attrIDs[ai] = attrs[ai].ID
-		a := int32(nVal + ai)
-		for _, v := range attrs[ai].Values {
-			vi, ok := valueIndex[v]
-			if !ok {
-				continue
+	engine.Parallel(workers, nAttr, func(_, lo, hi int) {
+		for ai := lo; ai < hi; ai++ {
+			attrIDs[ai] = attrs[ai].ID
+			a := int32(nVal + ai)
+			pos := offsets[a]
+			for _, v := range attrs[ai].Values {
+				vi, ok := valueIndex[v]
+				if !ok {
+					continue
+				}
+				adj[atomic.AddInt64(&next[vi], 1)-1] = a
+				adj[pos] = vi
+				pos++
 			}
-			adj[next[vi]] = a
-			next[vi]++
-			adj[next[a]] = vi
-			next[a]++
 		}
-	}
+	})
 	g := &Graph{
 		values:     retained,
 		attrs:      attrIDs,
@@ -190,15 +203,93 @@ func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
 		adj:        adj,
 		valueIndex: valueIndex,
 	}
-	g.sortAdjacency()
+	// Sorting is per-node, so its parallelism is bounded by the node count,
+	// not the (possibly much smaller) attribute count capping the passes
+	// above; pass the raw option and let Parallel clamp.
+	g.sortAdjacency(opts.Workers)
 	return g
 }
 
-func (g *Graph) sortAdjacency() {
-	for u := 0; u < g.NumNodes(); u++ {
-		nb := g.adj[g.offsets[u]:g.offsets[u+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+// countAndRetain runs the occurrence-counting pass — total cell count per
+// value (a nil Freqs counts one cell per attribute occurrence) — and returns
+// the values passing the singleton filter, in no particular order.
+//
+// With one worker it is a single map scan. In parallel, each worker scans a
+// chunk of attributes into hash-sharded local maps, so the merge pass can
+// give every merge worker a disjoint key universe with no locking.
+func countAndRetain(attrs []lake.Attribute, opts Options, workers int) []string {
+	cell := func(i, j int) int64 {
+		if attrs[i].Freqs != nil {
+			return int64(attrs[i].Freqs[j])
+		}
+		return 1
 	}
+
+	if workers == 1 {
+		occ := make(map[string]int64, 1024)
+		for i := range attrs {
+			for j, v := range attrs[i].Values {
+				occ[v] += cell(i, j)
+			}
+		}
+		retained := make([]string, 0, len(occ))
+		for v, c := range occ {
+			if opts.KeepSingletons || c >= 2 {
+				retained = append(retained, v)
+			}
+		}
+		return retained
+	}
+
+	locals := make([][]map[string]int64, workers)
+	engine.Parallel(workers, len(attrs), func(w, lo, hi int) {
+		shards := make([]map[string]int64, workers)
+		for s := range shards {
+			shards[s] = make(map[string]int64)
+		}
+		for i := lo; i < hi; i++ {
+			for j, v := range attrs[i].Values {
+				shards[int(maphash.String(valueHashSeed, v)%uint64(workers))][v] += cell(i, j)
+			}
+		}
+		locals[w] = shards
+	})
+
+	// Merge pass: worker s owns hash shard s; it sums that shard across all
+	// counting workers and keeps the values passing the singleton filter.
+	retainedParts := make([][]string, workers)
+	engine.Parallel(workers, workers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			total := make(map[string]int64)
+			for _, shards := range locals {
+				if shards == nil {
+					continue
+				}
+				for v, c := range shards[s] {
+					total[v] += c
+				}
+			}
+			part := make([]string, 0, len(total))
+			for v, c := range total {
+				if opts.KeepSingletons || c >= 2 {
+					part = append(part, v)
+				}
+			}
+			retainedParts[s] = part
+		}
+	})
+	return slices.Concat(retainedParts...)
+}
+
+// sortAdjacency canonicalizes every neighbor list to ascending order,
+// sharded across workers.
+func (g *Graph) sortAdjacency(workers int) {
+	n := g.NumNodes()
+	engine.Parallel(workers, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			slices.Sort(g.adj[g.offsets[u]:g.offsets[u+1]])
+		}
+	})
 }
 
 // CheckBipartite verifies that no edge connects two nodes of the same class
@@ -247,21 +338,32 @@ func (g *Graph) hasEdge(u, v int32) bool {
 
 // ValueNeighbors returns the distinct value nodes that co-occur with value
 // node u in at least one attribute — the N(u) of paper §3.2 — excluding u
-// itself. The result is sorted.
+// itself. The result is sorted. Deduplication uses a value-node bitset
+// rather than a hash set: O(NumValues/64) words of scratch, branch-free
+// marking, and the sorted output falls out of the ascending bit scan.
 func (g *Graph) ValueNeighbors(u int32) []int32 {
-	seen := make(map[int32]struct{})
+	nVal := len(g.values)
+	set := make([]uint64, (nVal+63)/64)
+	count := 0
 	for _, a := range g.Neighbors(u) {
 		for _, w := range g.Neighbors(a) {
-			if w != u {
-				seen[w] = struct{}{}
+			if w == u || int(w) >= nVal {
+				continue
+			}
+			word, bit := w>>6, uint64(1)<<(uint(w)&63)
+			if set[word]&bit == 0 {
+				set[word] |= bit
+				count++
 			}
 		}
 	}
-	out := make([]int32, 0, len(seen))
-	for w := range seen {
-		out = append(out, w)
+	out := make([]int32, 0, count)
+	for wi, word := range set {
+		for word != 0 {
+			out = append(out, int32(wi<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

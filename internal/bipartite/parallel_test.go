@@ -1,0 +1,114 @@
+package bipartite
+
+// Parallel-construction tests: the graph must be bit-identical for every
+// worker count, on generated lakes large enough to exercise real sharding.
+
+import (
+	"math/rand"
+	"testing"
+
+	"domainnet/internal/lake"
+)
+
+// randomAttrs builds a synthetic attribute list with overlapping vocabularies
+// so values span many attributes (and hash shards).
+func randomAttrs(nAttr, vocab, perAttr int, seed int64) []lake.Attribute {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]string, vocab)
+	for i := range words {
+		words[i] = "V" + string(rune('A'+i%26)) + string(rune('0'+i%10)) + string(rune('a'+(i/260)%26))
+	}
+	attrs := make([]lake.Attribute, nAttr)
+	for i := range attrs {
+		seen := map[string]bool{}
+		var vals []string
+		for len(vals) < perAttr {
+			w := words[rng.Intn(vocab)]
+			if !seen[w] {
+				seen[w] = true
+				vals = append(vals, w)
+			}
+		}
+		attrs[i] = lake.Attribute{ID: "attr-" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Values: vals}
+	}
+	return attrs
+}
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for u := int32(0); int(u) < a.NumNodes(); u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degree %d vs %d", u, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d: neighbor[%d] = %d vs %d", u, i, na[i], nb[i])
+			}
+		}
+	}
+	for u := 0; u < a.NumValues(); u++ {
+		if a.Value(int32(u)) != b.Value(int32(u)) {
+			t.Fatalf("value node %d: %q vs %q", u, a.Value(int32(u)), b.Value(int32(u)))
+		}
+	}
+	for i := 0; i < a.NumAttrs(); i++ {
+		if a.AttrID(a.AttrNode(i)) != b.AttrID(b.AttrNode(i)) {
+			t.Fatalf("attr %d id differs", i)
+		}
+	}
+}
+
+func TestFromAttributesWorkerCountInvariant(t *testing.T) {
+	attrs := randomAttrs(60, 400, 25, 3)
+	for _, keep := range []bool{false, true} {
+		serial := FromAttributes(attrs, Options{KeepSingletons: keep, Workers: 1})
+		if err := serial.CheckBipartite(); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.CheckSymmetric(); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8, 0} {
+			parallel := FromAttributes(attrs, Options{KeepSingletons: keep, Workers: w})
+			graphsEqual(t, serial, parallel)
+		}
+	}
+}
+
+func TestFromAttributesWithFreqsWorkerInvariant(t *testing.T) {
+	// Freqs drive the singleton filter; the sharded counting pass must sum
+	// them identically.
+	attrs := []lake.Attribute{
+		{ID: "a", Values: []string{"x", "y", "z"}, Freqs: []int{1, 2, 1}},
+		{ID: "b", Values: []string{"x", "w"}, Freqs: []int{1, 1}},
+	}
+	serial := FromAttributes(attrs, Options{Workers: 1})
+	parallel := FromAttributes(attrs, Options{Workers: 4})
+	graphsEqual(t, serial, parallel)
+	// x (2 cells across attrs) and y (freq 2) survive; z and w are singletons.
+	if _, ok := serial.ValueNode("x"); !ok {
+		t.Error("x should be retained")
+	}
+	if _, ok := serial.ValueNode("y"); !ok {
+		t.Error("y should be retained")
+	}
+	if _, ok := serial.ValueNode("z"); ok {
+		t.Error("z is a singleton and should be dropped")
+	}
+}
+
+func TestFromAttributesEmpty(t *testing.T) {
+	g := FromAttributes(nil, Options{})
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty input produced %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	g = FromAttributes([]lake.Attribute{{ID: "a"}}, Options{Workers: 4})
+	if g.NumValues() != 0 || g.NumAttrs() != 1 {
+		t.Fatalf("valueless attribute: %d values %d attrs", g.NumValues(), g.NumAttrs())
+	}
+}

@@ -97,7 +97,7 @@ func FromLakeWithRows(l *lake.Lake, opts Options) *Graph {
 		adj:        adj,
 		valueIndex: base.valueIndex,
 	}
-	g.sortAdjacency()
+	g.sortAdjacency(opts.Workers)
 	return g
 }
 

@@ -3,50 +3,33 @@
 // approximate via source sampling (after Geisberger, Sanders, Schultes) —
 // and the bipartite local clustering coefficient of Eq. 1.
 //
-// All algorithms operate on the minimal Graph interface so they run
+// All algorithms operate on the minimal engine.Graph interface so they run
 // unchanged over the bipartite DomainNet graph, the tripartite row variant,
-// and the unipartite co-occurrence graph.
+// and the unipartite co-occurrence graph. Every measure takes the single
+// engine.Opts struct and is registered as an engine.Scorer (see scorers.go),
+// so the detector and any future caller dispatch by name rather than by
+// hard-coded switches. BFS scratch state comes from the shared per-worker
+// engine.Arena pool: one arena per worker, reused across all of that
+// worker's sources, instead of per-source (or per-call) heap allocation.
 package centrality
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"domainnet/internal/engine"
 )
 
 // Graph is the read-only adjacency view the centrality algorithms need.
-// Neighbor slices must not be mutated and need not be sorted.
-type Graph interface {
-	NumNodes() int
-	Neighbors(u int32) []int32
-}
-
-// BCOptions configure betweenness computation.
-type BCOptions struct {
-	// Normalized divides raw scores by (n-1)(n-2), the number of ordered
-	// node pairs excluding u, yielding scores in [0,1] comparable across
-	// graph sizes. Eq. 2 of the paper sums over ordered pairs, so the raw
-	// score double-counts each unordered pair; normalization keeps that
-	// convention. Ranking is unaffected either way.
-	Normalized bool
-	// Workers bounds the number of concurrent BFS sources. Zero means
-	// runtime.NumCPU().
-	Workers int
-	// EndpointsValuesOnly restricts shortest-path endpoints to value nodes.
-	// The paper's footnote 2 reports trying this variant and finding that
-	// using all nodes as endpoints worked best; the option exists for the
-	// ablation benchmark. ValueNodeCount must be set when enabling it.
-	EndpointsValuesOnly bool
-	// ValueNodeCount is the size of the value-node prefix [0, ValueNodeCount)
-	// used when EndpointsValuesOnly is set.
-	ValueNodeCount int
-}
+// It is an alias of engine.Graph; neighbor slices must not be mutated and
+// need not be sorted.
+type Graph = engine.Graph
 
 // Betweenness computes exact betweenness centrality for every node using
 // Brandes' algorithm: one breadth-first search per source with shortest-path
 // counting, followed by reverse-order dependency accumulation. Runtime is
-// O(n·m) for unweighted graphs.
-func Betweenness(g Graph, opts BCOptions) []float64 {
+// O(n·m) for unweighted graphs; sources are sharded across opts.Workers,
+// each worker traversing with one reused arena.
+func Betweenness(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
 	sources := make([]int32, n)
 	for i := range sources {
@@ -59,52 +42,28 @@ func Betweenness(g Graph, opts BCOptions) []float64 {
 	return bc
 }
 
-// SampleStrategy selects how approximate betweenness picks its BFS sources.
-type SampleStrategy int
-
-const (
-	// SampleUniform draws sources uniformly at random without replacement.
-	SampleUniform SampleStrategy = iota
-	// SampleDegreeBiased draws sources with probability proportional to
-	// degree, the heuristic mentioned in §3.3 (high-degree nodes are more
-	// likely to appear on shortest paths).
-	SampleDegreeBiased
-)
-
-// ApproxOptions configure sampled betweenness.
-type ApproxOptions struct {
-	BCOptions
-	// Samples is the number of BFS sources. Values around 1% of n
-	// approximate the exact ranking well on sparse graphs (paper §5.4).
-	Samples int
-	// Strategy selects the sampling distribution.
-	Strategy SampleStrategy
-	// Seed makes the sample deterministic.
-	Seed int64
-}
-
 // ApproxBetweenness estimates betweenness centrality from a random sample of
-// BFS sources, scaling accumulated dependencies by n/s so the estimate is
-// unbiased for the exact (raw) score. With Samples >= n it degenerates to
-// the exact computation.
-func ApproxBetweenness(g Graph, opts ApproxOptions) []float64 {
+// opts.Samples BFS sources (uniform, or degree-proportional under
+// opts.DegreeBiased), scaling accumulated dependencies by n/s so the
+// estimate is unbiased for the exact (raw) score. With Samples >= n it
+// degenerates to the exact computation.
+func ApproxBetweenness(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
 	s := opts.Samples
 	if s <= 0 {
 		panic("centrality: ApproxBetweenness requires Samples > 0")
 	}
 	if s >= n {
-		return Betweenness(g, opts.BCOptions)
+		return Betweenness(g, opts)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var sources []int32
-	switch opts.Strategy {
-	case SampleDegreeBiased:
+	if opts.DegreeBiased {
 		sources = sampleByDegree(g, s, rng)
-	default:
+	} else {
 		sources = sampleUniform(n, s, rng)
 	}
-	bc := accumulate(g, sources, opts.BCOptions, float64(n)/float64(s))
+	bc := accumulate(g, sources, opts, float64(n)/float64(s))
 	if opts.Normalized {
 		normalize(bc, n)
 	}
@@ -168,60 +127,21 @@ func normalize(bc []float64, n int) {
 }
 
 // accumulate runs Brandes' dependency accumulation from the given sources,
-// scaling each source's contribution by scale, sharded across workers.
-func accumulate(g Graph, sources []int32, opts BCOptions, scale float64) []float64 {
-	n := g.NumNodes()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	results := make([][]float64, workers)
-	var wg sync.WaitGroup
-	chunk := (len(sources) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(sources) {
-			hi = len(sources)
-		}
-		if lo >= hi {
-			results[w] = make([]float64, n)
-			continue
-		}
-		wg.Add(1)
-		go func(w int, src []int32) {
-			defer wg.Done()
-			results[w] = brandesShard(g, src, opts, scale)
-		}(w, sources[lo:hi])
-	}
-	wg.Wait()
-
-	bc := make([]float64, n)
-	for _, part := range results {
-		for i, v := range part {
-			bc[i] += v
-		}
-	}
-	return bc
+// scaling each source's contribution by scale, sharded across workers. Each
+// worker owns one pooled arena and one partial result vector, so total
+// scratch is O(workers·n) regardless of the source count.
+func accumulate(g Graph, sources []int32, opts engine.Opts, scale float64) []float64 {
+	return engine.ShardSum(opts.Workers, g.NumNodes(), len(sources),
+		func(a *engine.Arena, lo, hi int, out []float64) {
+			brandesShard(g, sources[lo:hi], opts, scale, a, out)
+		})
 }
 
-// brandesShard processes a slice of sources with reusable per-shard state.
-func brandesShard(g Graph, sources []int32, opts BCOptions, scale float64) []float64 {
-	n := g.NumNodes()
-	bc := make([]float64, n)
-	dist := make([]int32, n)
-	sigma := make([]float64, n)
-	delta := make([]float64, n)
-	order := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
-
+// brandesShard processes a slice of sources, adding dependency contributions
+// into bc. All scratch lives in the arena; the BFS queue is consumed by
+// cursor (not by reslicing) so it doubles as the visit order for the reverse
+// pass and never reallocates after warm-up.
+func brandesShard(g Graph, sources []int32, opts engine.Opts, scale float64, a *engine.Arena, bc []float64) {
 	endpointOK := func(u int32) bool {
 		if !opts.EndpointsValuesOnly {
 			return true
@@ -229,30 +149,23 @@ func brandesShard(g Graph, sources []int32, opts BCOptions, scale float64) []flo
 		return int(u) < opts.ValueNodeCount
 	}
 
+	dist, sigma, delta := a.Dist, a.Sigma, a.Delta
 	for _, s := range sources {
-		// Reset only the nodes touched in the previous iteration.
-		for _, u := range order {
-			dist[u] = 0
-			sigma[u] = 0
-			delta[u] = 0
-		}
-		order = order[:0]
-		queue = queue[:0]
+		// Reset only the nodes the previous source touched.
+		a.ResetTouched()
 
 		// BFS with shortest-path counting. dist uses +1 offset so the zero
 		// value means "unvisited" and resets stay cheap.
 		dist[s] = 1
 		sigma[s] = 1
-		queue = append(queue, s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
+		a.Queue = append(a.Queue, s)
+		for qi := 0; qi < len(a.Queue); qi++ {
+			v := a.Queue[qi]
 			dv := dist[v]
 			for _, w := range g.Neighbors(v) {
 				if dist[w] == 0 {
 					dist[w] = dv + 1
-					queue = append(queue, w)
+					a.Queue = append(a.Queue, w)
 				}
 				if dist[w] == dv+1 {
 					sigma[w] += sigma[v]
@@ -260,14 +173,14 @@ func brandesShard(g Graph, sources []int32, opts BCOptions, scale float64) []flo
 			}
 		}
 
-		// Reverse-order dependency accumulation. When endpoints are
-		// restricted to value nodes, only such targets seed dependency mass,
-		// and only value sources contribute at all.
+		// Reverse-order dependency accumulation over the visit order. When
+		// endpoints are restricted to value nodes, only such targets seed
+		// dependency mass, and only value sources contribute at all.
 		if !endpointOK(s) {
 			continue
 		}
-		for i := len(order) - 1; i >= 0; i-- {
-			w := order[i]
+		for i := len(a.Queue) - 1; i >= 0; i-- {
+			w := a.Queue[i]
 			seed := 0.0
 			if endpointOK(w) {
 				seed = 1.0
@@ -284,5 +197,4 @@ func brandesShard(g Graph, sources []int32, opts BCOptions, scale float64) []flo
 			}
 		}
 	}
-	return bc
 }

@@ -1,6 +1,8 @@
 package centrality
 
 import (
+	"domainnet/internal/engine"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -46,7 +48,7 @@ func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestBetweennessPathGraph(t *testing.T) {
 	// On the path 0-1-2-3-4 the raw (ordered-pair) scores are 0,6,8,6,0.
-	bc := Betweenness(pathGraph(5), BCOptions{Workers: 1})
+	bc := Betweenness(pathGraph(5), engine.Opts{Workers: 1})
 	want := []float64{0, 6, 8, 6, 0}
 	for i, w := range want {
 		if !almostEqual(bc[i], w, 1e-9) {
@@ -63,7 +65,7 @@ func TestBetweennessStarGraph(t *testing.T) {
 	for i := 1; i < n; i++ {
 		g.addEdge(0, int32(i))
 	}
-	bc := Betweenness(g, BCOptions{})
+	bc := Betweenness(g, engine.Opts{})
 	if want := float64((n - 1) * (n - 2)); !almostEqual(bc[0], want, 1e-9) {
 		t.Errorf("center: got %v, want %v", bc[0], want)
 	}
@@ -76,8 +78,8 @@ func TestBetweennessStarGraph(t *testing.T) {
 
 func TestBetweennessNormalized(t *testing.T) {
 	g := pathGraph(5)
-	raw := Betweenness(g, BCOptions{})
-	norm := Betweenness(g, BCOptions{Normalized: true})
+	raw := Betweenness(g, engine.Opts{})
+	norm := Betweenness(g, engine.Opts{Normalized: true})
 	scale := float64(4 * 3)
 	for i := range raw {
 		if !almostEqual(norm[i]*scale, raw[i], 1e-9) {
@@ -92,7 +94,7 @@ func TestBetweennessDisconnected(t *testing.T) {
 	g := newSliceGraph(6)
 	g.addEdge(0, 1).addEdge(1, 2)
 	g.addEdge(3, 4).addEdge(4, 5)
-	bc := Betweenness(g, BCOptions{})
+	bc := Betweenness(g, engine.Opts{})
 	want := []float64{0, 2, 0, 0, 2, 0}
 	for i, w := range want {
 		if !almostEqual(bc[i], w, 1e-9) {
@@ -110,8 +112,8 @@ func TestBrandesMatchesNaive(t *testing.T) {
 		n := 3 + rng.Intn(30)
 		p := 0.05 + rng.Float64()*0.5
 		g := randomGraph(n, p, rng)
-		fast := Betweenness(g, BCOptions{Workers: 1 + trial%3})
-		slow := NaiveBetweenness(g, BCOptions{})
+		fast := Betweenness(g, engine.Opts{Workers: 1 + trial%3})
+		slow := NaiveBetweenness(g, engine.Opts{})
 		for u := range fast {
 			if !almostEqual(fast[u], slow[u], 1e-7*(1+math.Abs(slow[u]))) {
 				t.Fatalf("trial %d (n=%d p=%.2f): node %d brandes=%v naive=%v",
@@ -127,8 +129,8 @@ func TestBrandesMatchesNaiveQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + rng.Intn(20)
 		g := randomGraph(n, 0.3, rng)
-		fast := Betweenness(g, BCOptions{})
-		slow := NaiveBetweenness(g, BCOptions{})
+		fast := Betweenness(g, engine.Opts{})
+		slow := NaiveBetweenness(g, engine.Opts{})
 		for u := range fast {
 			if !almostEqual(fast[u], slow[u], 1e-7*(1+math.Abs(slow[u]))) {
 				return false
@@ -145,7 +147,7 @@ func TestBetweennessNonNegative(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomGraph(2+rng.Intn(40), 0.2, rng)
-		for _, v := range Betweenness(g, BCOptions{}) {
+		for _, v := range Betweenness(g, engine.Opts{}) {
 			if v < 0 || math.IsNaN(v) {
 				return false
 			}
@@ -162,7 +164,7 @@ func TestEndpointsValuesOnlyMatchesNaive(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		n := 4 + rng.Intn(20)
 		g := randomGraph(n, 0.35, rng)
-		opts := BCOptions{EndpointsValuesOnly: true, ValueNodeCount: n / 2}
+		opts := engine.Opts{EndpointsValuesOnly: true, ValueNodeCount: n / 2}
 		fast := Betweenness(g, opts)
 		slow := NaiveBetweenness(g, opts)
 		for u := range fast {
@@ -176,15 +178,15 @@ func TestEndpointsValuesOnlyMatchesNaive(t *testing.T) {
 func TestApproxFullSampleEqualsExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randomGraph(25, 0.25, rng)
-	exact := Betweenness(g, BCOptions{})
-	approx := ApproxBetweenness(g, ApproxOptions{Samples: 25, Seed: 5})
+	exact := Betweenness(g, engine.Opts{})
+	approx := ApproxBetweenness(g, engine.Opts{Samples: 25, Seed: 5})
 	for u := range exact {
 		if !almostEqual(exact[u], approx[u], 1e-9) {
 			t.Fatalf("node %d: exact %v approx(full) %v", u, exact[u], approx[u])
 		}
 	}
 	// Oversampling must also degenerate to exact.
-	over := ApproxBetweenness(g, ApproxOptions{Samples: 1000, Seed: 5})
+	over := ApproxBetweenness(g, engine.Opts{Samples: 1000, Seed: 5})
 	for u := range exact {
 		if !almostEqual(exact[u], over[u], 1e-9) {
 			t.Fatalf("node %d: exact %v approx(over) %v", u, exact[u], over[u])
@@ -195,14 +197,14 @@ func TestApproxFullSampleEqualsExact(t *testing.T) {
 func TestApproxDeterministicUnderSeed(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := randomGraph(60, 0.1, rng)
-	a := ApproxBetweenness(g, ApproxOptions{Samples: 10, Seed: 42})
-	b := ApproxBetweenness(g, ApproxOptions{Samples: 10, Seed: 42})
+	a := ApproxBetweenness(g, engine.Opts{Samples: 10, Seed: 42})
+	b := ApproxBetweenness(g, engine.Opts{Samples: 10, Seed: 42})
 	for u := range a {
 		if a[u] != b[u] {
 			t.Fatalf("node %d: same seed produced %v and %v", u, a[u], b[u])
 		}
 	}
-	c := ApproxBetweenness(g, ApproxOptions{Samples: 10, Seed: 43})
+	c := ApproxBetweenness(g, engine.Opts{Samples: 10, Seed: 43})
 	same := true
 	for u := range a {
 		if a[u] != c[u] {
@@ -232,7 +234,7 @@ func TestApproxFindsBridgeNode(t *testing.T) {
 	}
 	g.addEdge(0, 20).addEdge(20, 10)
 	for seed := int64(0); seed < 5; seed++ {
-		bc := ApproxBetweenness(g, ApproxOptions{Samples: 10, Seed: seed})
+		bc := ApproxBetweenness(g, engine.Opts{Samples: 10, Seed: seed})
 		// The bridge path is 0-20-10; those three nodes carry all cross
 		// traffic, with 20 exactly on every cross pair. Sampling noise can
 		// reorder the three, but the bridge must be in the top 3.
@@ -251,8 +253,8 @@ func TestApproxFindsBridgeNode(t *testing.T) {
 func TestApproxDegreeBiasedSampling(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	g := randomGraph(50, 0.15, rng)
-	bc := ApproxBetweenness(g, ApproxOptions{
-		Samples: 20, Seed: 1, Strategy: SampleDegreeBiased,
+	bc := ApproxBetweenness(g, engine.Opts{
+		Samples: 20, Seed: 1, DegreeBiased: true,
 	})
 	if len(bc) != 50 {
 		t.Fatalf("got %d scores, want 50", len(bc))
@@ -278,8 +280,8 @@ func TestDegreeCentrality(t *testing.T) {
 func TestBetweennessWorkersAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	g := randomGraph(40, 0.2, rng)
-	one := Betweenness(g, BCOptions{Workers: 1})
-	four := Betweenness(g, BCOptions{Workers: 4})
+	one := Betweenness(g, engine.Opts{Workers: 1})
+	four := Betweenness(g, engine.Opts{Workers: 4})
 	for u := range one {
 		if !almostEqual(one[u], four[u], 1e-9*(1+one[u])) {
 			t.Fatalf("node %d: workers=1 %v workers=4 %v", u, one[u], four[u])
@@ -294,7 +296,7 @@ func TestBetweennessTinyGraphs(t *testing.T) {
 		if n == 2 {
 			g.addEdge(0, 1)
 		}
-		bc := Betweenness(g, BCOptions{Normalized: true})
+		bc := Betweenness(g, engine.Opts{Normalized: true})
 		for u, v := range bc {
 			if v != 0 {
 				t.Errorf("n=%d node %d: got %v, want 0", n, u, v)

@@ -1,85 +1,101 @@
 package centrality
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"domainnet/internal/engine"
+)
 
 // Harmonic computes harmonic (closeness-family) centrality: for each node u
 // the sum of 1/d(u,v) over all other nodes, which handles disconnected
 // lakes gracefully (unreachable pairs contribute zero). It is not part of
 // the paper's method — homographs are bridges, not hubs — and exists as an
-// additional ablation baseline alongside Degree.
-func Harmonic(g Graph) []float64 {
+// additional ablation baseline alongside Degree. Sources are sharded across
+// opts.Workers; each source writes only its own output entry, so the
+// parallel result is bit-identical to the serial one.
+func Harmonic(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	touched := make([]int32, 0, n)
-	for s := 0; s < n; s++ {
-		for _, u := range touched {
-			dist[u] = 0
+	engine.Parallel(opts.EffectiveWorkers(n), n, func(_, lo, hi int) {
+		a := engine.AcquireArena(n)
+		defer a.Release()
+		for s := lo; s < hi; s++ {
+			out[s] = harmonicFromSource(g, int32(s), a)
 		}
-		queue = queue[:0]
-		dist[s] = 1 // +1 offset; 0 means unvisited
-		queue = append(queue, int32(s))
-		sum := 0.0
-		for qi := 0; qi < len(queue); qi++ {
-			v := queue[qi]
-			if v != int32(s) {
-				sum += 1.0 / float64(dist[v]-1)
-			}
-			for _, w := range g.Neighbors(v) {
-				if dist[w] == 0 {
-					dist[w] = dist[v] + 1
-					queue = append(queue, w)
-				}
-			}
-		}
-		touched = append(touched[:0], queue...)
-		out[s] = sum
-	}
+	})
 	return out
 }
 
-// ApproxHarmonic estimates harmonic centrality from a uniform sample of BFS
-// sources, scaled by n/s; used when the exact O(n·m) pass is too expensive.
-func ApproxHarmonic(g Graph, samples int, seed int64) []float64 {
+// harmonicFromSource runs one BFS and returns Σ 1/d(s,v).
+func harmonicFromSource(g Graph, s int32, a *engine.Arena) float64 {
+	a.ResetTouched()
+	dist := a.Dist
+	dist[s] = 1 // +1 offset; 0 means unvisited
+	a.Queue = append(a.Queue, s)
+	sum := 0.0
+	for qi := 0; qi < len(a.Queue); qi++ {
+		v := a.Queue[qi]
+		if v != s {
+			sum += 1.0 / float64(dist[v]-1)
+		}
+		dv := dist[v]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == 0 {
+				dist[w] = dv + 1
+				a.Queue = append(a.Queue, w)
+			}
+		}
+	}
+	return sum
+}
+
+// ApproxHarmonic estimates harmonic centrality from a uniform sample of
+// opts.Samples BFS sources, scaled by n/s; used when the exact O(n·m) pass
+// is too expensive. Sampled sources are sharded across opts.Workers with
+// per-worker partial vectors.
+func ApproxHarmonic(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
-	out := make([]float64, n)
+	samples := opts.Samples
 	if samples <= 0 {
-		panic("centrality: ApproxHarmonic requires samples > 0")
+		panic("centrality: ApproxHarmonic requires Samples > 0")
 	}
 	if samples >= n {
-		return Harmonic(g)
+		return Harmonic(g, opts)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(opts.Seed))
 	perm := rng.Perm(n)
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	touched := make([]int32, 0, n)
+	sources := make([]int32, samples)
+	for i := range sources {
+		sources[i] = int32(perm[i])
+	}
 	scale := float64(n) / float64(samples)
-	for i := 0; i < samples; i++ {
-		s := int32(perm[i])
-		for _, u := range touched {
-			dist[u] = 0
-		}
-		queue = queue[:0]
+	return engine.ShardSum(opts.Workers, n, samples,
+		func(a *engine.Arena, lo, hi int, out []float64) {
+			approxHarmonicShard(g, sources[lo:hi], scale, a, out)
+		})
+}
+
+func approxHarmonicShard(g Graph, sources []int32, scale float64, a *engine.Arena, out []float64) {
+	dist := a.Dist
+	for _, s := range sources {
+		a.ResetTouched()
 		dist[s] = 1
-		queue = append(queue, s)
-		for qi := 0; qi < len(queue); qi++ {
-			v := queue[qi]
+		a.Queue = append(a.Queue, s)
+		for qi := 0; qi < len(a.Queue); qi++ {
+			v := a.Queue[qi]
 			if v != s {
 				// Harmonic centrality is symmetric on undirected graphs:
 				// crediting the *target* with 1/d from a sampled source
 				// estimates the same sum.
 				out[v] += scale / float64(dist[v]-1)
 			}
+			dv := dist[v]
 			for _, w := range g.Neighbors(v) {
 				if dist[w] == 0 {
-					dist[w] = dist[v] + 1
-					queue = append(queue, w)
+					dist[w] = dv + 1
+					a.Queue = append(a.Queue, w)
 				}
 			}
 		}
-		touched = append(touched[:0], queue...)
 	}
-	return out
 }

@@ -24,6 +24,8 @@ package centrality
 // other group, so the per-value average is a per-signature quantity,
 // computed once per interacting signature pair.
 
+import "domainnet/internal/engine"
+
 // Bipartite is the view LCC needs: a Graph whose first NumValues nodes are
 // value nodes and whose remaining nodes are attributes, with sorted neighbor
 // lists (bipartite.Graph satisfies this).
@@ -35,9 +37,10 @@ type Bipartite interface {
 // LCC computes the exact local clustering coefficient of Eq. 1 for every
 // value node. The returned slice has length g.NumValues(); nodes with no
 // value-neighbors get 0. Lower scores are hypothesized to indicate
-// homographs (paper Hypothesis 3.4).
-func LCC(g Bipartite) []float64 {
-	return lccBySignature(g, false)
+// homographs (paper Hypothesis 3.4). Signature unions and per-signature
+// coefficients are computed in parallel across opts.Workers.
+func LCC(g Bipartite, opts engine.Opts) []float64 {
+	return lccBySignature(g, false, opts)
 }
 
 // LCCAttributeJaccard computes the fast variant the paper alludes to in
@@ -46,8 +49,8 @@ func LCC(g Bipartite) []float64 {
 // u and v is the Jaccard similarity of their *attribute* sets rather than
 // their value-neighbor sets. It is much cheaper on lakes with very large
 // columns and preserves the qualitative behaviour of Eq. 1.
-func LCCAttributeJaccard(g Bipartite) []float64 {
-	return lccBySignature(g, true)
+func LCCAttributeJaccard(g Bipartite, opts engine.Opts) []float64 {
+	return lccBySignature(g, true, opts)
 }
 
 type sigInfo struct {
@@ -56,11 +59,11 @@ type sigInfo struct {
 	union   []int32 // M_S: sorted union of the signature's attribute contents
 }
 
-func lccBySignature(g Bipartite, attrJaccard bool) []float64 {
+func lccBySignature(g Bipartite, attrJaccard bool, opts engine.Opts) []float64 {
 	nVal := g.NumValues()
 	out := make([]float64, nVal)
 
-	// Group value nodes by attribute-set signature.
+	// Group value nodes by attribute-set signature (map-ordered, serial).
 	sigIdx := make(map[string]int)
 	var sigs []*sigInfo
 	sigOf := make([]int, nVal)
@@ -77,10 +80,14 @@ func lccBySignature(g Bipartite, attrJaccard bool) []float64 {
 		sigOf[u] = idx
 	}
 
-	// Per-signature neighbor union M_S.
-	for _, s := range sigs {
-		s.union = unionOfAttrs(g, s.attrs)
-	}
+	workers := opts.EffectiveWorkers(len(sigs))
+
+	// Per-signature neighbor union M_S, computed independently per signature.
+	engine.Parallel(workers, len(sigs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sigs[i].union = unionOfAttrs(g, sigs[i].attrs)
+		}
+	})
 
 	// Attribute -> signatures containing it, to enumerate interacting pairs.
 	sigsAt := make(map[int32][]int, g.NumNodes()-nVal)
@@ -90,63 +97,71 @@ func lccBySignature(g Bipartite, attrJaccard bool) []float64 {
 		}
 	}
 
-	// Pairwise coefficient cache keyed by (min,max) signature index.
-	type pairKey struct{ a, b int }
-	pairC := make(map[pairKey]float64)
+	// coeff is the pairwise signature coefficient — a pure function, so
+	// workers can cache it independently without coordinating.
 	coeff := func(i, j int) float64 {
-		k := pairKey{i, j}
-		if i > j {
-			k = pairKey{j, i}
-		}
-		if c, ok := pairC[k]; ok {
-			return c
-		}
-		var c float64
+		var inter, uni int
 		if attrJaccard {
-			inter, uni := interUnionSize(sigs[i].attrs, sigs[j].attrs)
-			if uni > 0 {
-				c = float64(inter) / float64(uni)
-			}
+			inter, uni = interUnionSize(sigs[i].attrs, sigs[j].attrs)
 		} else {
-			inter, uni := interUnionSize(sigs[i].union, sigs[j].union)
-			if uni > 0 {
-				c = float64(inter) / float64(uni)
-			}
+			inter, uni = interUnionSize(sigs[i].union, sigs[j].union)
 		}
-		pairC[k] = c
-		return c
+		if uni == 0 {
+			return 0
+		}
+		return float64(inter) / float64(uni)
 	}
 
 	// Per-signature LCC: average coefficient over the |M_S|−1 neighbors,
-	// grouped by the neighbor's signature.
+	// grouped by the neighbor's signature. Signatures are sharded across
+	// workers; each worker keeps its own (min,max)-keyed coefficient cache,
+	// trading a little duplicated work at shard boundaries for zero locking.
+	type pairKey struct{ a, b int }
 	lccOfSig := make([]float64, len(sigs))
-	for i, s := range sigs {
-		nNeighbors := len(s.union) - 1
-		if nNeighbors <= 0 {
-			lccOfSig[i] = 0
-			continue
-		}
-		// Interacting signatures: all signatures sharing >= 1 attribute.
+	engine.Parallel(workers, len(sigs), func(_, lo, hi int) {
+		pairC := make(map[pairKey]float64)
 		seen := make(map[int]struct{})
-		sum := 0.0
-		for _, a := range s.attrs {
-			for _, j := range sigsAt[a] {
-				if _, dup := seen[j]; dup {
-					continue
-				}
-				seen[j] = struct{}{}
-				cnt := len(sigs[j].members)
-				if j == i {
-					cnt-- // a value is not its own neighbor
-				}
-				if cnt == 0 {
-					continue
-				}
-				sum += float64(cnt) * coeff(i, j)
+		cachedCoeff := func(i, j int) float64 {
+			k := pairKey{i, j}
+			if i > j {
+				k = pairKey{j, i}
 			}
+			if c, ok := pairC[k]; ok {
+				return c
+			}
+			c := coeff(i, j)
+			pairC[k] = c
+			return c
 		}
-		lccOfSig[i] = sum / float64(nNeighbors)
-	}
+		for i := lo; i < hi; i++ {
+			s := sigs[i]
+			nNeighbors := len(s.union) - 1
+			if nNeighbors <= 0 {
+				lccOfSig[i] = 0
+				continue
+			}
+			// Interacting signatures: all signatures sharing >= 1 attribute.
+			clear(seen)
+			sum := 0.0
+			for _, a := range s.attrs {
+				for _, j := range sigsAt[a] {
+					if _, dup := seen[j]; dup {
+						continue
+					}
+					seen[j] = struct{}{}
+					cnt := len(sigs[j].members)
+					if j == i {
+						cnt-- // a value is not its own neighbor
+					}
+					if cnt == 0 {
+						continue
+					}
+					sum += float64(cnt) * cachedCoeff(i, j)
+				}
+			}
+			lccOfSig[i] = sum / float64(nNeighbors)
+		}
+	})
 
 	for u := 0; u < nVal; u++ {
 		out[u] = lccOfSig[sigOf[u]]

@@ -1,6 +1,8 @@
 package centrality
 
 import (
+	"domainnet/internal/engine"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,7 +50,7 @@ func TestLCCMatchesNaive(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		attrs := randomAttributes(2+rng.Intn(8), 4+rng.Intn(30), 12, rng)
 		g := bipartite.FromAttributes(attrs, bipartite.Options{KeepSingletons: true})
-		fast := LCC(g)
+		fast := LCC(g, engine.Opts{})
 		slow := LCCNaive(g)
 		for u := range fast {
 			if math.Abs(fast[u]-slow[u]) > 1e-9 {
@@ -64,7 +66,7 @@ func TestLCCMatchesNaiveQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		attrs := randomAttributes(2+rng.Intn(6), 5+rng.Intn(20), 8, rng)
 		g := bipartite.FromAttributes(attrs, bipartite.Options{KeepSingletons: true})
-		fast := LCC(g)
+		fast := LCC(g, engine.Opts{})
 		slow := LCCNaive(g)
 		for u := range fast {
 			if math.Abs(fast[u]-slow[u]) > 1e-9 {
@@ -83,7 +85,7 @@ func TestLCCBounds(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		attrs := randomAttributes(2+rng.Intn(10), 5+rng.Intn(40), 15, rng)
 		g := bipartite.FromAttributes(attrs, bipartite.Options{KeepSingletons: true})
-		for _, scores := range [][]float64{LCC(g), LCCAttributeJaccard(g)} {
+		for _, scores := range [][]float64{LCC(g, engine.Opts{}), LCCAttributeJaccard(g, engine.Opts{})} {
 			for _, v := range scores {
 				if v < 0 || v > 1 || math.IsNaN(v) {
 					return false
@@ -103,7 +105,7 @@ func TestLCCSingleAttribute(t *testing.T) {
 	// for all and close to 1 for larger columns.
 	attrs := []lake.Attribute{{ID: "t.a", Values: []string{"A", "B", "C", "D", "E"}}}
 	g := bipartite.FromAttributes(attrs, bipartite.Options{KeepSingletons: true})
-	scores := LCC(g)
+	scores := LCC(g, engine.Opts{})
 	// N(u) has 4 members; J(N(u),N(v)) = (5-2)/... intersection {others} —
 	// verify against the oracle rather than hand arithmetic.
 	naive := LCCNaive(g)
@@ -129,7 +131,7 @@ func TestLCCIsolatedValue(t *testing.T) {
 	if !ok {
 		t.Fatal("LONER not in graph")
 	}
-	if got := LCC(g)[u]; got != 0 {
+	if got := LCC(g, engine.Opts{})[u]; got != 0 {
 		t.Errorf("isolated value LCC = %v, want 0", got)
 	}
 }
@@ -142,7 +144,7 @@ func TestLCCAttributeJaccardIdenticalSignatures(t *testing.T) {
 		{ID: "t.b", Values: []string{"X", "Y"}},
 	}
 	g := bipartite.FromAttributes(attrs, bipartite.Options{KeepSingletons: true})
-	scores := LCCAttributeJaccard(g)
+	scores := LCCAttributeJaccard(g, engine.Opts{})
 	for u := range scores {
 		if math.Abs(scores[u]-1) > 1e-12 {
 			t.Errorf("node %d: got %v, want 1", u, scores[u])

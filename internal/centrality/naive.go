@@ -1,12 +1,14 @@
 package centrality
 
+import "domainnet/internal/engine"
+
 // NaiveBetweenness computes exact betweenness by the definition (paper
 // Eq. 2): for every ordered pair (s,t) and every intermediate node u,
 // σ_st(u)/σ_st where σ_st(u) = σ_su·σ_ut when u lies on a shortest s–t path.
 // It materializes all-pairs distances and path counts, costing O(n·m) time
 // and O(n²) space, and — crucially for its role as a test oracle — shares no
-// code with Brandes' dependency accumulation.
-func NaiveBetweenness(g Graph, opts BCOptions) []float64 {
+// code with Brandes' dependency accumulation (nor with the arena substrate).
+func NaiveBetweenness(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
 	dist := make([][]int32, n)
 	sigma := make([][]float64, n)

@@ -3,6 +3,8 @@ package centrality
 import (
 	"math"
 	"math/rand"
+
+	"domainnet/internal/engine"
 )
 
 // This file implements the second approximation the paper cites (§3.3):
@@ -11,42 +13,38 @@ import (
 // ε of the truth with probability 1-δ. DomainNet defaults to the faster
 // source-sampling scheme (ApproxBetweenness); this estimator exists for
 // callers who want an accuracy contract and for the cross-validation tests.
-
-// EpsilonOptions configure the path-sampling estimator.
-type EpsilonOptions struct {
-	// Epsilon is the additive error bound on the betweenness *fraction*
-	// (raw score divided by the n(n-1) ordered pairs).
-	Epsilon float64
-	// Delta is the failure probability. Zero means 0.1.
-	Delta float64
-	// Seed drives path sampling.
-	Seed int64
-	// MaxSamples caps the sample budget regardless of the bound, so tiny
-	// epsilons cannot run away. Zero means no cap.
-	MaxSamples int
-}
+//
+// Sampling is inherently sequential (each sample consumes random bits in
+// order), so the estimator runs on one goroutine — but all BFS scratch comes
+// from the shared arena pool, so repeated calls allocate almost nothing.
 
 // ApproxBetweennessEpsilon estimates the betweenness fraction of every node
 // by sampling r shortest paths between random node pairs and counting how
 // often each node appears as an interior vertex; r is the VC-dimension
 // bound (c/ε²)(⌊log₂(VD−2)⌋ + 1 + ln(1/δ)) with VD the vertex diameter.
-// The returned scores approximate Betweenness(g)/n(n-1); multiply by
-// n(n-1) to compare with raw scores, or rank directly.
-func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
+// opts.Epsilon and opts.Delta default to 0.05 and 0.1; opts.MaxSamples caps
+// the budget. The returned scores approximate Betweenness(g)/n(n-1);
+// multiply by n(n-1) to compare with raw scores, or rank directly.
+func ApproxBetweennessEpsilon(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
 	if n < 3 {
 		return out
 	}
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 0.05
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 0.05
 	}
-	if opts.Delta <= 0 {
-		opts.Delta = 0.1
+	delta := opts.Delta
+	if delta <= 0 {
+		delta = 0.1
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	vd := estimateVertexDiameter(g, rng)
+	a := engine.AcquireArena(n)
+	defer a.Release()
+
+	vd := estimateVertexDiameter(g, rng, a)
 	logTerm := 0.0
 	if vd > 2 {
 		logTerm = math.Floor(math.Log2(float64(vd - 2)))
@@ -54,7 +52,7 @@ func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
 	// The universal constant of the range-space bound; 0.5 is the value
 	// used in practice (Riondato & Kornaropoulos, Data Min Knowl Disc '16).
 	const c = 0.5
-	r := int(math.Ceil((c / (opts.Epsilon * opts.Epsilon)) * (logTerm + 1 + math.Log(1/opts.Delta))))
+	r := int(math.Ceil((c / (eps * eps)) * (logTerm + 1 + math.Log(1/delta))))
 	if r < 1 {
 		r = 1
 	}
@@ -62,10 +60,7 @@ func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
 		r = opts.MaxSamples
 	}
 
-	dist := make([]int32, n)
-	sigma := make([]float64, n)
-	touched := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
+	dist, sigma := a.Dist, a.Sigma
 	inc := 1.0 / float64(r)
 
 	for i := 0; i < r; i++ {
@@ -80,18 +75,14 @@ func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
 		// BFS from s with path counting, stopping once t's level finishes.
 		// Every node whose dist is set enters the queue, so the queue is
 		// the exact set to reset before the next sample.
-		for _, u := range touched {
-			dist[u] = 0
-			sigma[u] = 0
-		}
-		queue = queue[:0]
+		a.ResetTouched()
 		dist[s] = 1
 		sigma[s] = 1
-		queue = append(queue, s)
+		a.Queue = append(a.Queue, s)
 		found := false
 		tLevel := int32(0)
-		for qi := 0; qi < len(queue); qi++ {
-			v := queue[qi]
+		for qi := 0; qi < len(a.Queue); qi++ {
+			v := a.Queue[qi]
 			if found && dist[v] >= tLevel {
 				break // all shortest paths to t are complete
 			}
@@ -99,7 +90,7 @@ func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
 			for _, w := range g.Neighbors(v) {
 				if dist[w] == 0 {
 					dist[w] = dv + 1
-					queue = append(queue, w)
+					a.Queue = append(a.Queue, w)
 					if w == t {
 						found = true
 						tLevel = dv + 1
@@ -110,7 +101,6 @@ func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
 				}
 			}
 		}
-		touched = append(touched[:0], queue...)
 		if !found {
 			continue // t unreachable: empty path sample
 		}
@@ -146,40 +136,38 @@ func ApproxBetweennessEpsilon(g Graph, opts EpsilonOptions) []float64 {
 // on the longest shortest path) with the standard 2-BFS heuristic: BFS from
 // a random node, then BFS from the farthest node found; the sum of the two
 // eccentricities bounds the diameter within a factor of 2.
-func estimateVertexDiameter(g Graph, rng *rand.Rand) int {
+func estimateVertexDiameter(g Graph, rng *rand.Rand, a *engine.Arena) int {
 	n := g.NumNodes()
 	if n == 0 {
 		return 0
 	}
 	s := int32(rng.Intn(n))
-	far, ecc1 := bfsFarthest(g, s)
-	_, ecc2 := bfsFarthest(g, far)
+	far, ecc1 := bfsFarthest(g, s, a)
+	_, ecc2 := bfsFarthest(g, far, a)
 	return ecc1 + ecc2 + 1
 }
 
-// bfsFarthest returns the farthest node reachable from s and its distance.
-func bfsFarthest(g Graph, s int32) (int32, int) {
-	n := g.NumNodes()
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[s] = 0
-	queue := []int32{s}
-	far, best := s, 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if int(dist[v]) > best {
-			best = int(dist[v])
+// bfsFarthest returns the farthest node reachable from s and its distance,
+// using the arena's dist/queue buffers (+1 distance offset).
+func bfsFarthest(g Graph, s int32, a *engine.Arena) (int32, int) {
+	a.ResetTouched()
+	dist := a.Dist
+	dist[s] = 1
+	a.Queue = append(a.Queue, s)
+	far, best := s, int32(1)
+	for qi := 0; qi < len(a.Queue); qi++ {
+		v := a.Queue[qi]
+		if dist[v] > best {
+			best = dist[v]
 			far = v
 		}
+		dv := dist[v]
 		for _, w := range g.Neighbors(v) {
-			if dist[w] < 0 {
-				dist[w] = dist[v] + 1
-				queue = append(queue, w)
+			if dist[w] == 0 {
+				dist[w] = dv + 1
+				a.Queue = append(a.Queue, w)
 			}
 		}
 	}
-	return far, best
+	return far, int(best - 1)
 }

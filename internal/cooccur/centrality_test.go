@@ -5,6 +5,7 @@ import (
 
 	"domainnet/internal/centrality"
 	"domainnet/internal/datagen"
+	"domainnet/internal/engine"
 )
 
 // TestCooccurrenceBCAgreesWithBipartite validates the paper's Figure 3
@@ -13,7 +14,7 @@ import (
 // Figure 1 homographs first.
 func TestCooccurrenceBCAgreesWithBipartite(t *testing.T) {
 	g := FromAttributes(datagen.Figure1FourAttributes())
-	bc := centrality.Betweenness(g, centrality.BCOptions{Normalized: true})
+	bc := centrality.Betweenness(g, engine.Opts{Normalized: true})
 
 	best, second := int32(-1), int32(-1)
 	for u := int32(0); int(u) < g.NumNodes(); u++ {

@@ -10,8 +10,10 @@
 package cooccur
 
 import (
+	"slices"
 	"sort"
 
+	"domainnet/internal/engine"
 	"domainnet/internal/lake"
 )
 
@@ -115,10 +117,11 @@ func FromAttributes(attrs []lake.Attribute) *Graph {
 		next[e.b]++
 	}
 	g := &Graph{values: values, offsets: offsets, adj: adj, index: index}
-	for u := 0; u < n; u++ {
-		nb := adj[offsets[u]:offsets[u+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-	}
+	engine.Parallel(0, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			slices.Sort(adj[offsets[u]:offsets[u+1]])
+		}
+	})
 	return g
 }
 

@@ -5,6 +5,12 @@
 //
 // The package is the library's primary entry point; examples and binaries
 // use it rather than wiring the substrates together by hand.
+//
+// Measures are dispatched through the engine's scorer registry: each Measure
+// constant names an engine.Scorer registered by internal/centrality, and the
+// Config is translated into the one engine.Opts struct every scorer shares.
+// New measures therefore plug in by registration, with no dispatch code to
+// edit here (see Scorers for the live menu).
 package domainnet
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"domainnet/internal/bipartite"
 	"domainnet/internal/centrality"
+	"domainnet/internal/engine"
 	"domainnet/internal/lake"
 	"domainnet/internal/rank"
 )
@@ -41,38 +48,45 @@ const (
 	HarmonicBaseline
 )
 
-// String returns the measure's display name.
+// measureScorer maps each Measure constant to the registry name of its
+// engine.Scorer implementation. The table (not a switch) is the single point
+// a new built-in measure is wired in; out-of-tree measures skip even this by
+// registering with the engine and being addressed by name.
+var measureScorer = map[Measure]string{
+	BetweennessApprox:  centrality.NameBetweennessApprox,
+	BetweennessExact:   centrality.NameBetweennessExact,
+	LCC:                centrality.NameLCC,
+	LCCAttr:            centrality.NameLCCAttr,
+	DegreeBaseline:     centrality.NameDegree,
+	BetweennessEpsilon: centrality.NameBetweennessEpsilon,
+	HarmonicBaseline:   centrality.NameHarmonic,
+}
+
+// ascendingMeasures lists the measures under which homograph candidates rank
+// low rather than high (Hypothesis 3.4: homographs scatter their neighbors).
+var ascendingMeasures = map[Measure]bool{LCC: true, LCCAttr: true}
+
+// String returns the measure's display name — the scorer registry key.
 func (m Measure) String() string {
-	switch m {
-	case BetweennessApprox:
-		return "betweenness(approx)"
-	case BetweennessExact:
-		return "betweenness(exact)"
-	case LCC:
-		return "lcc"
-	case LCCAttr:
-		return "lcc(attr-jaccard)"
-	case DegreeBaseline:
-		return "degree"
-	case BetweennessEpsilon:
-		return "betweenness(epsilon)"
-	case HarmonicBaseline:
-		return "harmonic"
-	default:
-		return fmt.Sprintf("Measure(%d)", int(m))
+	if name, ok := measureScorer[m]; ok {
+		return name
 	}
+	return fmt.Sprintf("Measure(%d)", int(m))
 }
 
 // order reports the ranking direction under which the measure places
 // homograph candidates first.
 func (m Measure) order() rank.Order {
-	switch m {
-	case LCC, LCCAttr:
+	if ascendingMeasures[m] {
 		return rank.Ascending
-	default:
-		return rank.Descending
 	}
+	return rank.Descending
 }
+
+// Scorers returns the names of every registered scoring measure, the full
+// menu a caller can dispatch on (built-ins plus any externally registered
+// engine.Scorer implementations).
+func Scorers() []string { return engine.Names() }
 
 // Config parameterizes a Detector.
 type Config struct {
@@ -84,7 +98,8 @@ type Config struct {
 	Samples int
 	// Seed drives source sampling; fixed seeds give reproducible rankings.
 	Seed int64
-	// Workers bounds centrality parallelism; zero means all CPUs.
+	// Workers bounds graph-construction and scoring parallelism; zero means
+	// all CPUs (GOMAXPROCS).
 	Workers int
 	// DegreeBiasedSampling switches approximate BC from uniform to
 	// degree-proportional source sampling (§3.3).
@@ -106,9 +121,13 @@ type Detector struct {
 	scores []float64
 }
 
-// New builds the DomainNet graph of a lake (pipeline step 1).
+// New builds the DomainNet graph of a lake (pipeline step 1). Construction
+// and scoring share the Config's Workers bound.
 func New(l *lake.Lake, cfg Config) *Detector {
-	g := bipartite.FromLake(l, bipartite.Options{KeepSingletons: cfg.KeepSingletons})
+	g := bipartite.FromLake(l, bipartite.Options{
+		KeepSingletons: cfg.KeepSingletons,
+		Workers:        cfg.Workers,
+	})
 	return FromGraph(g, cfg)
 }
 
@@ -123,58 +142,37 @@ func FromGraph(g *bipartite.Graph, cfg Config) *Detector {
 func (d *Detector) Graph() *bipartite.Graph { return d.graph }
 
 // Scores computes (once) and returns the per-node score slice, indexed by
-// node id; only value-node entries are meaningful for LCC measures.
+// node id; only value-node entries are meaningful for LCC measures. The
+// measure is resolved through the engine's scorer registry — no per-measure
+// dispatch lives here — and every scorer receives the same engine.Opts
+// derived from the Config.
 func (d *Detector) Scores() []float64 {
 	if d.scores != nil {
 		return d.scores
 	}
-	g := d.graph
-	switch d.cfg.Measure {
-	case BetweennessExact:
-		d.scores = centrality.Betweenness(g, d.bcOptions())
-	case LCC:
-		d.scores = centrality.LCC(g)
-	case LCCAttr:
-		d.scores = centrality.LCCAttributeJaccard(g)
-	case DegreeBaseline:
-		d.scores = centrality.Degree(g)
-	case BetweennessEpsilon:
-		d.scores = centrality.ApproxBetweennessEpsilon(g, centrality.EpsilonOptions{
-			Epsilon: d.cfg.Epsilon,
-			Delta:   d.cfg.Delta,
-			Seed:    d.cfg.Seed,
-		})
-	case HarmonicBaseline:
-		s := d.cfg.Samples
-		if s <= 0 {
-			d.scores = centrality.Harmonic(g)
-		} else {
-			d.scores = centrality.ApproxHarmonic(g, s, d.cfg.Seed)
-		}
-	default:
-		s := d.cfg.Samples
-		if s <= 0 {
-			s = g.NumNodes() / 100
-			if s < 100 {
-				s = 100
-			}
-		}
-		strategy := centrality.SampleUniform
-		if d.cfg.DegreeBiasedSampling {
-			strategy = centrality.SampleDegreeBiased
-		}
-		d.scores = centrality.ApproxBetweenness(g, centrality.ApproxOptions{
-			BCOptions: d.bcOptions(),
-			Samples:   s,
-			Strategy:  strategy,
-			Seed:      d.cfg.Seed,
-		})
+	scorer, ok := engine.Lookup(d.cfg.Measure.String())
+	if !ok {
+		// Unknown measures fall back to the recommended default, matching
+		// order()'s graceful handling (and the zero-value Config).
+		scorer = engine.MustLookup(centrality.NameBetweennessApprox)
 	}
+	d.scores = scorer.Score(d.graph, d.cfg.engineOpts())
 	return d.scores
 }
 
-func (d *Detector) bcOptions() centrality.BCOptions {
-	return centrality.BCOptions{Normalized: true, Workers: d.cfg.Workers}
+// engineOpts translates the Config into the single options struct every
+// scorer consumes. Measure-specific defaults (sample budgets, epsilon)
+// live in the scorers themselves.
+func (c Config) engineOpts() engine.Opts {
+	return engine.Opts{
+		Workers:      c.Workers,
+		Seed:         c.Seed,
+		Samples:      c.Samples,
+		Normalized:   true,
+		DegreeBiased: c.DegreeBiasedSampling,
+		Epsilon:      c.Epsilon,
+		Delta:        c.Delta,
+	}
 }
 
 // Ranking returns all candidate values ordered so likely homographs come

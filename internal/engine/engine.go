@@ -1,0 +1,135 @@
+// Package engine is the shared execution substrate of the DomainNet scoring
+// pipeline. It defines the minimal graph view the centrality algorithms
+// consume, the single options struct every measure is parameterized by, the
+// Scorer interface with its process-wide registry (so new measures plug in
+// without editing dispatch code), and the reusable per-worker BFS arena that
+// makes repeated graph traversals allocation-free.
+//
+// The package has no dependencies beyond the standard library and imports
+// nothing else from this repository, so every layer — centrality algorithms,
+// graph builders, the detector, experiment drivers — can share it without
+// import cycles.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Graph is the read-only adjacency view scoring algorithms need.
+// Neighbor slices must not be mutated and need not be sorted.
+type Graph interface {
+	NumNodes() int
+	Neighbors(u int32) []int32
+}
+
+// Opts is the one options struct threaded through every Scorer. A measure
+// reads the fields it understands and ignores the rest; zero values select
+// sensible defaults everywhere.
+type Opts struct {
+	// Workers bounds traversal parallelism (concurrent BFS sources, graph
+	// shards). Zero means GOMAXPROCS.
+	Workers int
+	// Seed drives all sampling; fixed seeds give reproducible scores.
+	Seed int64
+	// Samples is the BFS-source budget of sampled measures. Zero selects the
+	// measure's own default (approximate betweenness: 1% of nodes, min 100;
+	// harmonic: exact computation).
+	Samples int
+	// Normalized divides betweenness scores by (n-1)(n-2), the ordered pair
+	// count, yielding scores in [0,1] comparable across graph sizes.
+	Normalized bool
+	// DegreeBiased switches sampled betweenness from uniform to
+	// degree-proportional source sampling (paper §3.3).
+	DegreeBiased bool
+	// Epsilon and Delta parameterize the (ε, δ) path-sampling estimator:
+	// estimates are within Epsilon of the true betweenness fraction with
+	// probability 1-Delta. Zeros select 0.05 and 0.1.
+	Epsilon, Delta float64
+	// MaxSamples caps the path-sampling budget regardless of the (ε, δ)
+	// bound, so tiny epsilons cannot run away. Zero means no cap.
+	MaxSamples int
+	// EndpointsValuesOnly restricts shortest-path endpoints to value nodes
+	// (the paper's footnote-2 ablation). ValueNodeCount must be set.
+	EndpointsValuesOnly bool
+	// ValueNodeCount is the size of the value-node prefix [0, ValueNodeCount)
+	// used when EndpointsValuesOnly is set.
+	ValueNodeCount int
+}
+
+// EffectiveWorkers resolves Workers against the number of independent work
+// items: zero becomes GOMAXPROCS, and the result never exceeds items (nor
+// drops below 1).
+func (o Opts) EffectiveWorkers(items int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Scorer is a pluggable scoring measure. Score returns one score per node,
+// indexed by node id; measures defined only on a node prefix (such as the
+// value-node LCC) still return a slice the caller can index by node id for
+// that prefix.
+type Scorer interface {
+	// Name is the stable registry key, also used for display.
+	Name() string
+	// Score computes the measure over g under opts.
+	Score(g Graph, opts Opts) []float64
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Scorer)
+)
+
+// Register adds a Scorer to the process-wide registry. It panics on a
+// duplicate name: two measures silently shadowing each other is a bug.
+func Register(s Scorer) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	name := s.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate scorer %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the Scorer registered under name, if any.
+func Lookup(name string) (Scorer, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustLookup returns the Scorer registered under name and panics when it is
+// absent — the failure mode of dispatching on an unregistered measure.
+func MustLookup(name string) Scorer {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: no scorer registered under %q", name))
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered scorers.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"domainnet/internal/community"
 	"domainnet/internal/datagen"
 	"domainnet/internal/domainnet"
+	"domainnet/internal/engine"
 	"domainnet/internal/eval"
 	"domainnet/internal/rank"
 )
@@ -61,7 +62,7 @@ func MeasureAblation(seed int64) []MeasureResult {
 	// Footnote 2: endpoints restricted to value nodes.
 	add("betweenness (value endpoints)", func() eval.Metrics {
 		g := bipartite.FromLake(sb.Lake, bipartite.Options{})
-		scores := centrality.Betweenness(g, centrality.BCOptions{
+		scores := centrality.Betweenness(g, engine.Opts{
 			Normalized:          true,
 			EndpointsValuesOnly: true,
 			ValueNodeCount:      g.NumValues(),
@@ -72,10 +73,10 @@ func MeasureAblation(seed int64) []MeasureResult {
 	// §3.2 "Tables to Graph": row-aware tripartite graph.
 	add("betweenness (tripartite rows)", func() eval.Metrics {
 		g := bipartite.FromLakeWithRows(sb.Lake, bipartite.Options{})
-		scores := centrality.ApproxBetweenness(g, centrality.ApproxOptions{
-			BCOptions: centrality.BCOptions{Normalized: true},
-			Samples:   g.NumNodes() / 20,
-			Seed:      seed,
+		scores := centrality.ApproxBetweenness(g, engine.Opts{
+			Normalized: true,
+			Samples:    g.NumNodes() / 20,
+			Seed:       seed,
 		})
 		return eval.AtK(rank.Values(g.Values(), scores, rank.Descending), truth, k)
 	})

@@ -9,6 +9,7 @@ import (
 	"domainnet/internal/centrality"
 	"domainnet/internal/datagen"
 	"domainnet/internal/domainnet"
+	"domainnet/internal/engine"
 	"domainnet/internal/eval"
 )
 
@@ -143,10 +144,10 @@ func Figure9(nycScale float64, fractions []float64, sampleFrac float64, seed int
 			samples = 10
 		}
 		start := time.Now()
-		centrality.ApproxBetweenness(g, centrality.ApproxOptions{
-			BCOptions: centrality.BCOptions{Normalized: true},
-			Samples:   samples,
-			Seed:      seed,
+		centrality.ApproxBetweenness(g, engine.Opts{
+			Normalized: true,
+			Samples:    samples,
+			Seed:       seed,
 		})
 		res.Points = append(res.Points, Figure9Point{
 			Edges:         g.NumEdges(),
@@ -215,7 +216,7 @@ func ConstructionTimes(scale Scale) []ConstructionResult {
 	g := bipartite.FromAttributes(tusGT.Attrs, bipartite.Options{})
 	build := time.Since(start).Milliseconds()
 	start = time.Now()
-	centrality.LCCAttributeJaccard(g)
+	centrality.LCCAttributeJaccard(g, engine.Opts{})
 	lcc := time.Since(start).Milliseconds()
 	out = append(out, ConstructionResult{
 		Dataset: "TUS", Nodes: g.NumNodes(), Edges: g.NumEdges(),
