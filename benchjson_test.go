@@ -22,6 +22,7 @@ import (
 	"domainnet/internal/centrality"
 	"domainnet/internal/datagen"
 	"domainnet/internal/engine"
+	"domainnet/internal/table"
 )
 
 // benchStage is one timed pipeline stage.
@@ -68,6 +69,40 @@ func TestEmitBenchJSON(t *testing.T) {
 		{"graph_build_nyc", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				bipartite.FromAttributes(nycAttrs, bipartite.Options{})
+			}
+		}},
+		{"graph_build_sb", func(b *testing.B) {
+			attrs := sb.Lake.Attributes()
+			for i := 0; i < b.N; i++ {
+				bipartite.FromAttributes(attrs, bipartite.Options{})
+			}
+		}},
+		{"incremental_rebuild_sb", func(b *testing.B) {
+			// Single-table churn: replace one SB table with a modified
+			// variant every iteration, so Changed is non-empty and Rebuild
+			// runs real delta surgery (dirty-attribute refill, occurrence
+			// deltas, CSR re-stitch) — never its no-op fast path. Compare
+			// ns/op against graph_build_sb for the delta-pricing win.
+			churn := datagen.NewSB(1)
+			orig := churn.Lake.Tables()[0]
+			variant := table.New(orig.Name)
+			for _, col := range orig.Columns {
+				variant.AddColumn(col.Name, col.Values...)
+			}
+			variant.Columns[0].Values = append(
+				append([]string(nil), variant.Columns[0].Values...), "churn-variant")
+			variants := [2]*table.Table{orig, variant}
+			// Prime with the churn table at the end so the first timed
+			// iteration is already order-stable (no reorder fallback).
+			churn.Lake.RemoveTable(orig.Name)
+			churn.Lake.MustAdd(orig)
+			g := bipartite.FromLake(churn.Lake, bipartite.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				churn.Lake.RemoveTable(orig.Name)
+				churn.Lake.MustAdd(variants[(i+1)%2])
+				attrs := churn.Lake.Attributes()
+				g = bipartite.Rebuild(g, attrs, bipartite.Changed(g, attrs), bipartite.Options{})
 			}
 		}},
 		{"brandes_exact_sb", func(b *testing.B) {

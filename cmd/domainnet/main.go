@@ -13,24 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"domainnet/internal/domainnet"
 	"domainnet/internal/lake"
 )
-
-// measureFlags maps flag spellings to detector measures; every entry resolves
-// to a Scorer in the engine registry.
-var measureFlags = map[string]domainnet.Measure{
-	"bc":       domainnet.BetweennessApprox,
-	"bc-exact": domainnet.BetweennessExact,
-	"bc-eps":   domainnet.BetweennessEpsilon,
-	"lcc":      domainnet.LCC,
-	"lcc-attr": domainnet.LCCAttr,
-	"degree":   domainnet.DegreeBaseline,
-	"harmonic": domainnet.HarmonicBaseline,
-}
 
 func main() {
 	dir := flag.String("dir", "", "directory of CSV tables (required)")
@@ -48,15 +35,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, ok := measureFlags[*measure]
+	m, ok := domainnet.ParseMeasure(*measure)
 	if !ok {
-		spellings := make([]string, 0, len(measureFlags))
-		for name := range measureFlags {
-			spellings = append(spellings, name)
-		}
-		sort.Strings(spellings)
 		fmt.Fprintf(os.Stderr, "unknown measure %q (valid: %s; scorer registry: %s)\n",
-			*measure, strings.Join(spellings, ", "), strings.Join(domainnet.Scorers(), ", "))
+			*measure, strings.Join(domainnet.MeasureNames(), ", "), strings.Join(domainnet.Scorers(), ", "))
 		os.Exit(2)
 	}
 

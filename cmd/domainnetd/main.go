@@ -1,0 +1,75 @@
+// Command domainnetd serves homograph detection over HTTP: a zero-dependency
+// daemon holding one in-memory data lake, answering reads from an immutable
+// snapshot while table uploads rebuild the DomainNet graph incrementally.
+//
+// Usage:
+//
+//	domainnetd [-addr :8080] [-dir path/to/lake] [-name lake]
+//	           [-measure bc|bc-exact|bc-eps|lcc|lcc-attr|degree|harmonic]
+//	           [-samples 0] [-seed 1] [-workers 0] [-keep-singletons]
+//
+// Endpoints:
+//
+//	GET    /topk?k=50&measure=bc   top homograph candidates of the snapshot
+//	GET    /score?value=jaguar     one value's score (normalized lookup)
+//	GET    /stats                  lake and graph statistics + version
+//	GET    /scorers                available measures
+//	POST   /tables/{name}          add a table (request body: CSV)
+//	DELETE /tables/{name}          remove a table
+//
+// Reads never block on writes: each response is served from the snapshot
+// current when it arrived, stamped with the lake version it reflects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"domainnet/internal/domainnet"
+	"domainnet/internal/lake"
+	"domainnet/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "directory of CSV tables to pre-load (optional; empty starts an empty lake)")
+	name := flag.String("name", "lake", "lake name when starting empty")
+	measure := flag.String("measure", "bc", "default scoring measure")
+	samples := flag.Int("samples", 0, "approximate-BC sample count (0 = 1% of nodes)")
+	seed := flag.Int64("seed", 1, "random seed for sampling")
+	workers := flag.Int("workers", 0, "parallelism for graph build and scoring (0 = all CPUs)")
+	keep := flag.Bool("keep-singletons", false, "keep values occurring only once")
+	flag.Parse()
+
+	m, ok := domainnet.ParseMeasure(*measure)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown measure %q (valid: %s)\n",
+			*measure, strings.Join(domainnet.MeasureNames(), ", "))
+		os.Exit(2)
+	}
+
+	var l *lake.Lake
+	if *dir != "" {
+		var err error
+		if l, err = lake.LoadDir(*dir); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		l = lake.New(*name)
+	}
+
+	s := serve.New(l, domainnet.Config{
+		Measure:        m,
+		Samples:        *samples,
+		Seed:           *seed,
+		Workers:        *workers,
+		KeepSingletons: *keep,
+	})
+	log.Printf("domainnetd: serving lake %q (%d tables, snapshot version %d) on %s",
+		l.Name, l.NumTables(), s.Version(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, s))
+}

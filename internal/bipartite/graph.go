@@ -36,6 +36,21 @@ type Graph struct {
 	adj     []int32 // concatenated sorted neighbor lists
 
 	valueIndex map[string]int32
+
+	// Incremental-rebuild support (see Rebuild). srcAttrs aliases the
+	// attribute slice the graph was built from, occ holds the total cell
+	// count of every value — including values the singleton filter dropped,
+	// since an update can push them over the threshold — and keepSingletons
+	// records the Options the build used. incremental marks graphs whose
+	// delta state is populated: every FromAttributes and Rebuild output,
+	// including the graphs Subgraph derives through FromAttributes (their
+	// delta state is self-consistent against the induced attribute list).
+	// The tripartite builder leaves it unset, so Rebuild falls back to a
+	// full build there.
+	srcAttrs       []lake.Attribute
+	occ            map[string]int64
+	keepSingletons bool
+	incremental    bool
 }
 
 // NumValues reports the number of value nodes.
@@ -104,6 +119,12 @@ func (g *Graph) Degree(u int32) int {
 // id. The slice aliases internal storage and must not be modified.
 func (g *Graph) Values() []string { return g.values }
 
+// SourceValueCount reports the number of distinct normalized values across
+// the graph's source attributes, including values the singleton filter
+// dropped — the lake-wide value count of the paper's Table 1. It is zero
+// for graphs built without delta state (tripartite, hand-assembled).
+func (g *Graph) SourceValueCount() int { return len(g.occ) }
+
 // Options configure graph construction.
 type Options struct {
 	// KeepSingletons retains value nodes whose total cell count across the
@@ -136,7 +157,7 @@ func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
 	nAttr := len(attrs)
 	workers := engine.Opts{Workers: opts.Workers}.EffectiveWorkers(nAttr)
 
-	retained := countAndRetain(attrs, opts, workers)
+	retained, occ := countAndRetain(attrs, opts, workers)
 
 	// Assign ids to retained values in deterministic (sorted) order.
 	sort.Strings(retained)
@@ -197,11 +218,15 @@ func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
 		}
 	})
 	g := &Graph{
-		values:     retained,
-		attrs:      attrIDs,
-		offsets:    offsets,
-		adj:        adj,
-		valueIndex: valueIndex,
+		values:         retained,
+		attrs:          attrIDs,
+		offsets:        offsets,
+		adj:            adj,
+		valueIndex:     valueIndex,
+		srcAttrs:       attrs,
+		occ:            occ,
+		keepSingletons: opts.KeepSingletons,
+		incremental:    true,
 	}
 	// Sorting is per-node, so its parallelism is bounded by the node count,
 	// not the (possibly much smaller) attribute count capping the passes
@@ -212,12 +237,14 @@ func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
 
 // countAndRetain runs the occurrence-counting pass — total cell count per
 // value (a nil Freqs counts one cell per attribute occurrence) — and returns
-// the values passing the singleton filter, in no particular order.
+// the values passing the singleton filter (in no particular order) together
+// with the full count map, which the graph retains so later Rebuild calls
+// can delta-update it instead of recounting the lake.
 //
 // With one worker it is a single map scan. In parallel, each worker scans a
 // chunk of attributes into hash-sharded local maps, so the merge pass can
 // give every merge worker a disjoint key universe with no locking.
-func countAndRetain(attrs []lake.Attribute, opts Options, workers int) []string {
+func countAndRetain(attrs []lake.Attribute, opts Options, workers int) ([]string, map[string]int64) {
 	cell := func(i, j int) int64 {
 		if attrs[i].Freqs != nil {
 			return int64(attrs[i].Freqs[j])
@@ -238,7 +265,7 @@ func countAndRetain(attrs []lake.Attribute, opts Options, workers int) []string 
 				retained = append(retained, v)
 			}
 		}
-		return retained
+		return retained, occ
 	}
 
 	locals := make([][]map[string]int64, workers)
@@ -258,6 +285,7 @@ func countAndRetain(attrs []lake.Attribute, opts Options, workers int) []string 
 	// Merge pass: worker s owns hash shard s; it sums that shard across all
 	// counting workers and keeps the values passing the singleton filter.
 	retainedParts := make([][]string, workers)
+	totals := make([]map[string]int64, workers)
 	engine.Parallel(workers, workers, func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
 			total := make(map[string]int64)
@@ -276,9 +304,20 @@ func countAndRetain(attrs []lake.Attribute, opts Options, workers int) []string 
 				}
 			}
 			retainedParts[s] = part
+			totals[s] = total
 		}
 	})
-	return slices.Concat(retainedParts...)
+	size := 0
+	for _, total := range totals {
+		size += len(total)
+	}
+	occ := make(map[string]int64, size)
+	for _, total := range totals {
+		for v, c := range total {
+			occ[v] = c
+		}
+	}
+	return slices.Concat(retainedParts...), occ
 }
 
 // sortAdjacency canonicalizes every neighbor list to ascending order,

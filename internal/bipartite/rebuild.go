@@ -1,0 +1,397 @@
+package bipartite
+
+import (
+	"maps"
+	"slices"
+	"sort"
+	"sync/atomic"
+
+	"domainnet/internal/engine"
+	"domainnet/internal/lake"
+)
+
+// rebuildMaxChurn caps the attribute churn Rebuild handles incrementally:
+// when more than 1/rebuildMaxChurn of the combined old+new attribute count
+// is dirty or removed, a from-scratch build is cheaper than delta surgery.
+const rebuildMaxChurn = 4
+
+// Changed compares attrs against the source attributes of prev and returns
+// the indices (into attrs) of attributes that are new or modified — exactly
+// the set Rebuild may not reuse from prev. Matching is by attribute ID;
+// content identity is established by backing-array pointer equality first
+// (lake.Attributes hands back the same arrays for untouched tables) with an
+// element-wise comparison as fallback. With a nil or non-incremental prev
+// every attribute is changed.
+func Changed(prev *Graph, attrs []lake.Attribute) []int {
+	if prev == nil || !prev.incremental {
+		changed := make([]int, len(attrs))
+		for i := range changed {
+			changed[i] = i
+		}
+		return changed
+	}
+	byID := make(map[string]int, len(prev.srcAttrs))
+	for p := range prev.srcAttrs {
+		byID[prev.srcAttrs[p].ID] = p
+	}
+	var changed []int
+	for i := range attrs {
+		p, ok := byID[attrs[i].ID]
+		if !ok || !sameData(attrs[i].Values, prev.srcAttrs[p].Values) ||
+			!sameData(attrs[i].Freqs, prev.srcAttrs[p].Freqs) {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// sameData reports slice equality, short-circuiting on shared backing arrays.
+func sameData[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0] || slices.Equal(a, b)
+}
+
+// Rebuild builds the graph of attrs, reusing as much of prev as the update
+// allows: the interned value strings, the value-index map (when the retained
+// value set is unchanged), and the adjacency spans of every attribute that is
+// neither in changed nor touched by a value flipping across the singleton
+// threshold. The output is bit-identical to FromAttributes(attrs, opts) —
+// incremental construction is a performance choice, never a semantic one.
+//
+// changed lists the indices (into attrs) of new or modified attributes;
+// Changed computes it. Attributes of prev absent from attrs are detected
+// internally and their contributions subtracted. Rebuild falls back to the
+// full parallel build when prev cannot support delta surgery (nil, tripartite,
+// differing KeepSingletons, duplicate attribute IDs, reordered survivors) or
+// when the churn exceeds rebuildMaxChurn's threshold.
+func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *Graph {
+	if prev == nil || !prev.incremental || prev.nRows != 0 ||
+		prev.keepSingletons != opts.KeepSingletons {
+		return FromAttributes(attrs, opts)
+	}
+	nAttr := len(attrs)
+	nPrev := len(prev.srcAttrs)
+
+	// Match attributes by ID. Duplicate IDs (possible when a table repeats a
+	// column name) defeat matching, so they force a full build.
+	prevByID := make(map[string]int, nPrev)
+	for p := range prev.srcAttrs {
+		if _, dup := prevByID[prev.srcAttrs[p].ID]; dup {
+			return FromAttributes(attrs, opts)
+		}
+		prevByID[prev.srcAttrs[p].ID] = p
+	}
+	seen := make(map[string]struct{}, nAttr)
+	for i := range attrs {
+		if _, dup := seen[attrs[i].ID]; dup {
+			return FromAttributes(attrs, opts)
+		}
+		seen[attrs[i].ID] = struct{}{}
+	}
+
+	dirty := make([]bool, nAttr) // attrs whose adjacency must be refilled
+	for _, i := range changed {
+		if i < 0 || i >= nAttr {
+			return FromAttributes(attrs, opts)
+		}
+		dirty[i] = true
+	}
+
+	// Map unchanged attributes to their prev indices. prevGone marks prev
+	// attributes whose edges and cell counts leave the graph: removed (ID
+	// absent from attrs) or superseded by a changed attribute. Survivors must
+	// keep their relative order (lakes append, so they do); a reordering
+	// would break the monotone id remap and falls back instead.
+	prevOfNew := make([]int, nAttr)
+	prevToNew := make([]int, nPrev)
+	prevGone := make([]bool, nPrev)
+	for p := range prev.srcAttrs {
+		prevGone[p] = true
+		prevToNew[p] = -1
+	}
+	last := -1
+	for i := range attrs {
+		prevOfNew[i] = -1
+		if dirty[i] {
+			continue
+		}
+		p, ok := prevByID[attrs[i].ID]
+		if !ok || p <= last {
+			return FromAttributes(attrs, opts)
+		}
+		last = p
+		prevOfNew[i] = p
+		prevToNew[p] = i
+		prevGone[p] = false
+	}
+	nGone := 0
+	for p := range prevGone {
+		if prevGone[p] {
+			nGone++
+		}
+	}
+	if len(changed) == 0 && nGone == 0 {
+		return prev // no structural change at all
+	}
+	if (len(changed)+nGone)*rebuildMaxChurn > nAttr+nPrev {
+		return FromAttributes(attrs, opts)
+	}
+
+	// Delta the occurrence counts: subtract the cells of gone prev
+	// attributes, add the cells of changed attributes. Values whose count
+	// crosses the retention threshold flip in or out of the graph.
+	minOcc := int64(2)
+	if opts.KeepSingletons {
+		minOcc = 1
+	}
+	cell := func(a *lake.Attribute, j int) int64 {
+		if a.Freqs != nil {
+			return int64(a.Freqs[j])
+		}
+		return 1
+	}
+	occ := maps.Clone(prev.occ)
+	touched := make(map[string]struct{})
+	for p := range prev.srcAttrs {
+		if !prevGone[p] {
+			continue
+		}
+		pa := &prev.srcAttrs[p]
+		for j, v := range pa.Values {
+			if c := occ[v] - cell(pa, j); c > 0 {
+				occ[v] = c
+			} else {
+				delete(occ, v)
+			}
+			touched[v] = struct{}{}
+		}
+	}
+	// Iterate the dirty bitmap, not changed: a caller-supplied duplicate
+	// index must not double-count its cells.
+	for i := range attrs {
+		if !dirty[i] {
+			continue
+		}
+		na := &attrs[i]
+		for j, v := range na.Values {
+			occ[v] += cell(na, j)
+			touched[v] = struct{}{}
+		}
+	}
+	var addedVals []string // values newly crossing the retention threshold
+	var droppedOld []int32 // prev value-node ids leaving the graph
+	for v := range touched {
+		_, was := prev.valueIndex[v]
+		now := occ[v] >= minOcc
+		switch {
+		case now && !was:
+			addedVals = append(addedVals, v)
+		case was && !now:
+			droppedOld = append(droppedOld, prev.valueIndex[v])
+		}
+	}
+	sort.Strings(addedVals)
+	slices.Sort(droppedOld)
+
+	// Flips dirty the unchanged attributes hosting them. A dropped value's
+	// surviving occurrences are read off its prev adjacency; a newly retained
+	// value's pre-existing host (its single prior cell, when it had one) is
+	// located by binary search over the unchanged attributes' sorted values.
+	nValPrev := prev.NumValues()
+	for _, vo := range droppedOld {
+		for _, an := range prev.Neighbors(vo) {
+			if ni := prevToNew[int(an)-nValPrev]; ni >= 0 {
+				dirty[ni] = true
+			}
+		}
+	}
+	if len(addedVals) > 0 {
+		for i := range attrs {
+			if dirty[i] {
+				continue
+			}
+			// addedVals is sorted by construction; an attribute's Values are
+			// sorted when they come from lake.Attributes but the contract
+			// only requires "distinct and normalized", so binary-search the
+			// attribute side only after verifying its order.
+			vals := attrs[i].Values
+			if len(vals) >= len(addedVals) && slices.IsSorted(vals) {
+				for _, v := range addedVals {
+					if _, ok := slices.BinarySearch(vals, v); ok {
+						dirty[i] = true
+						break
+					}
+				}
+			} else {
+				for _, v := range vals {
+					if _, ok := slices.BinarySearch(addedVals, v); ok {
+						dirty[i] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	nDirty := 0
+	for i := range dirty {
+		if dirty[i] {
+			nDirty++
+		}
+	}
+	if (nDirty+nGone)*rebuildMaxChurn > nAttr+nPrev {
+		return FromAttributes(attrs, opts)
+	}
+
+	// New value universe. When no value flipped, the sorted value slice and
+	// its index map carry over verbatim (both are immutable); otherwise merge
+	// the additions into the survivors — both inputs are sorted, and id order
+	// is lexicographic order, so the remap of surviving ids is monotone.
+	oldVals := prev.values
+	values := oldVals
+	valueIndex := prev.valueIndex
+	var oldToNew []int32 // nil means identity
+	if len(addedVals) > 0 || len(droppedOld) > 0 {
+		droppedSet := make([]bool, len(oldVals))
+		for _, vo := range droppedOld {
+			droppedSet[vo] = true
+		}
+		values = make([]string, 0, len(oldVals)-len(droppedOld)+len(addedVals))
+		oldToNew = make([]int32, len(oldVals))
+		ai := 0
+		for vo, v := range oldVals {
+			for ai < len(addedVals) && addedVals[ai] < v {
+				values = append(values, addedVals[ai])
+				ai++
+			}
+			if droppedSet[vo] {
+				oldToNew[vo] = -1
+				continue
+			}
+			oldToNew[vo] = int32(len(values))
+			values = append(values, v)
+		}
+		values = append(values, addedVals[ai:]...)
+		valueIndex = make(map[string]int32, len(values))
+		for i, v := range values {
+			valueIndex[v] = int32(i)
+		}
+	}
+	nVal := len(values)
+	n := nVal + nAttr
+
+	// Degrees, in prefix-sum form (deg[u+1] = degree of node u): surviving
+	// values inherit their previous degree, minus the edges of prev
+	// attributes not carried over, plus the edges of dirty attributes under
+	// the new value set. Clean attributes keep their degree.
+	deg := make([]int64, n+1)
+	remap := func(vo int32) int32 {
+		if oldToNew == nil {
+			return vo
+		}
+		return oldToNew[vo]
+	}
+	engine.Parallel(opts.Workers, len(oldVals), func(_, lo, hi int) {
+		for vo := lo; vo < hi; vo++ {
+			if vn := remap(int32(vo)); vn >= 0 {
+				deg[vn+1] = int64(prev.Degree(int32(vo)))
+			}
+		}
+	})
+	for p := range prev.srcAttrs {
+		carried := !prevGone[p] && !dirty[prevToNew[p]]
+		if carried {
+			continue
+		}
+		for _, vo := range prev.Neighbors(int32(nValPrev + p)) {
+			if vn := remap(vo); vn >= 0 {
+				deg[vn+1]--
+			}
+		}
+	}
+	for i := range attrs {
+		if !dirty[i] {
+			deg[nVal+i+1] = int64(prev.Degree(int32(nValPrev + prevOfNew[i])))
+			continue
+		}
+		count := int64(0)
+		for _, v := range attrs[i].Values {
+			if vn, ok := valueIndex[v]; ok {
+				deg[vn+1]++
+				count++
+			}
+		}
+		deg[nVal+i+1] = count
+	}
+	offsets := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+
+	// Adjacency fill, parallel over attributes exactly like the full build:
+	// clean attributes stream their prev span through the monotone remap (no
+	// hashing), dirty ones look their values up in the index; value-side
+	// slots are claimed through per-node atomic cursors and canonicalized by
+	// the sorting pass.
+	adj := make([]int32, offsets[n])
+	next := make([]int64, nVal)
+	copy(next, offsets[:nVal])
+	attrIDs := make([]string, nAttr)
+	engine.Parallel(opts.Workers, nAttr, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			attrIDs[i] = attrs[i].ID
+			a := int32(nVal + i)
+			pos := offsets[a]
+			if dirty[i] {
+				for _, v := range attrs[i].Values {
+					vn, ok := valueIndex[v]
+					if !ok {
+						continue
+					}
+					adj[atomic.AddInt64(&next[vn], 1)-1] = a
+					adj[pos] = vn
+					pos++
+				}
+			} else {
+				p := prevOfNew[i]
+				for _, vo := range prev.Neighbors(int32(nValPrev + p)) {
+					vn := remap(vo)
+					adj[atomic.AddInt64(&next[vn], 1)-1] = a
+					adj[pos] = vn
+					pos++
+				}
+			}
+		}
+	})
+	g := &Graph{
+		values:         values,
+		attrs:          attrIDs,
+		offsets:        offsets,
+		adj:            adj,
+		valueIndex:     valueIndex,
+		srcAttrs:       attrs,
+		occ:            occ,
+		keepSingletons: opts.KeepSingletons,
+		incremental:    true,
+	}
+	g.sortAdjacency(opts.Workers)
+	return g
+}
+
+// Equal reports structural equality: same node universe, same CSR layout.
+// Two graphs built from the same attributes — whether from scratch or
+// incrementally — must compare Equal; tests rely on this. When both graphs
+// carry delta state the occurrence counts must agree too, so count drift in
+// the incremental path cannot hide behind an identical topology.
+func (g *Graph) Equal(o *Graph) bool {
+	if !(slices.Equal(g.values, o.values) && slices.Equal(g.attrs, o.attrs) &&
+		g.nRows == o.nRows && slices.Equal(g.offsets, o.offsets) &&
+		slices.Equal(g.adj, o.adj)) {
+		return false
+	}
+	if g.incremental && o.incremental && !maps.Equal(g.occ, o.occ) {
+		return false
+	}
+	return true
+}

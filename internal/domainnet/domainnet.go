@@ -15,6 +15,10 @@ package domainnet
 
 import (
 	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"domainnet/internal/bipartite"
 	"domainnet/internal/centrality"
@@ -88,6 +92,43 @@ func (m Measure) order() rank.Order {
 // engine.Scorer implementations).
 func Scorers() []string { return engine.Names() }
 
+// measureSpellings maps the short spellings the CLI and HTTP service accept
+// to detector measures; every entry resolves to a Scorer in the registry.
+var measureSpellings = map[string]Measure{
+	"bc":       BetweennessApprox,
+	"bc-exact": BetweennessExact,
+	"bc-eps":   BetweennessEpsilon,
+	"lcc":      LCC,
+	"lcc-attr": LCCAttr,
+	"degree":   DegreeBaseline,
+	"harmonic": HarmonicBaseline,
+}
+
+// ParseMeasure resolves a measure from its short spelling (bc, bc-exact,
+// bc-eps, lcc, lcc-attr, degree, harmonic) or its registry display name.
+func ParseMeasure(name string) (Measure, bool) {
+	if m, ok := measureSpellings[name]; ok {
+		return m, true
+	}
+	for m, reg := range measureScorer {
+		if reg == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// MeasureNames returns the sorted short spellings ParseMeasure accepts,
+// for flag and API error messages.
+func MeasureNames() []string {
+	out := make([]string, 0, len(measureSpellings))
+	for name := range measureSpellings {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Config parameterizes a Detector.
 type Config struct {
 	// Measure is the homograph score; the zero value is the recommended
@@ -113,22 +154,34 @@ type Config struct {
 	KeepSingletons bool
 }
 
-// Detector runs the three-step DomainNet pipeline over one data lake and
-// caches the graph and scores.
+// Detector runs the three-step DomainNet pipeline over one immutable graph
+// snapshot and caches the scores and ranking behind once-latches, so any
+// number of goroutines can call Scores, Ranking, TopK and Score concurrently:
+// the first caller per cache computes, later callers share the result. A
+// Detector never observes lake mutations — Update derives a successor
+// snapshot incrementally instead.
 type Detector struct {
-	cfg    Config
-	graph  *bipartite.Graph
-	scores []float64
+	cfg   Config
+	graph *bipartite.Graph
+	// version is the lake version the graph reflects (0 for FromGraph).
+	// Atomic because a no-op Update re-stamps the shared detector while
+	// readers may be calling Version concurrently.
+	version atomic.Uint64
+
+	scoreOnce sync.Once
+	scores    []float64
+	rankOnce  sync.Once
+	ranking   []rank.Scored
 }
 
 // New builds the DomainNet graph of a lake (pipeline step 1). Construction
-// and scoring share the Config's Workers bound.
+// and scoring share the Config's Workers bound. The detector is stamped with
+// the lake's current Version.
 func New(l *lake.Lake, cfg Config) *Detector {
-	g := bipartite.FromLake(l, bipartite.Options{
-		KeepSingletons: cfg.KeepSingletons,
-		Workers:        cfg.Workers,
-	})
-	return FromGraph(g, cfg)
+	g := bipartite.FromLake(l, cfg.bipartiteOpts())
+	d := FromGraph(g, cfg)
+	d.version.Store(l.Version())
+	return d
 }
 
 // FromGraph wraps an already-built graph, for callers that construct or
@@ -138,6 +191,31 @@ func FromGraph(g *bipartite.Graph, cfg Config) *Detector {
 	return &Detector{cfg: cfg, graph: g}
 }
 
+// Update returns a detector reflecting the lake's current state, rebuilding
+// the graph incrementally from the receiver's snapshot (bipartite.Rebuild):
+// unchanged attributes keep their interned values and adjacency, so
+// single-table churn costs far less than New. When nothing structural
+// changed the receiver itself is returned, score and ranking caches intact
+// and re-stamped to the current lake version (the version can advance
+// without the graph changing, e.g. a table removed and re-added verbatim).
+// The receiver's snapshot state is never mutated, so readers of the old
+// detector are undisturbed — this is the write path of the serving layer.
+func (d *Detector) Update(l *lake.Lake) *Detector {
+	attrs := l.Attributes()
+	g := bipartite.Rebuild(d.graph, attrs, bipartite.Changed(d.graph, attrs), d.cfg.bipartiteOpts())
+	if g == d.graph {
+		d.version.Store(l.Version())
+		return d
+	}
+	nd := FromGraph(g, d.cfg)
+	nd.version.Store(l.Version())
+	return nd
+}
+
+// Version reports the lake version the detector's graph was built from
+// (zero for detectors wrapped around a hand-built graph).
+func (d *Detector) Version() uint64 { return d.version.Load() }
+
 // Graph exposes the underlying bipartite graph.
 func (d *Detector) Graph() *bipartite.Graph { return d.graph }
 
@@ -145,19 +223,27 @@ func (d *Detector) Graph() *bipartite.Graph { return d.graph }
 // node id; only value-node entries are meaningful for LCC measures. The
 // measure is resolved through the engine's scorer registry — no per-measure
 // dispatch lives here — and every scorer receives the same engine.Opts
-// derived from the Config.
+// derived from the Config. Concurrent callers block on one shared
+// computation; the returned slice is shared and must not be modified.
 func (d *Detector) Scores() []float64 {
-	if d.scores != nil {
-		return d.scores
-	}
-	scorer, ok := engine.Lookup(d.cfg.Measure.String())
-	if !ok {
-		// Unknown measures fall back to the recommended default, matching
-		// order()'s graceful handling (and the zero-value Config).
-		scorer = engine.MustLookup(centrality.NameBetweennessApprox)
-	}
-	d.scores = scorer.Score(d.graph, d.cfg.engineOpts())
+	d.scoreOnce.Do(func() {
+		scorer, ok := engine.Lookup(d.cfg.Measure.String())
+		if !ok {
+			// Unknown measures fall back to the recommended default, matching
+			// order()'s graceful handling (and the zero-value Config).
+			scorer = engine.MustLookup(centrality.NameBetweennessApprox)
+		}
+		d.scores = scorer.Score(d.graph, d.cfg.engineOpts())
+	})
 	return d.scores
+}
+
+// bipartiteOpts translates the Config into graph-construction options.
+func (c Config) bipartiteOpts() bipartite.Options {
+	return bipartite.Options{
+		KeepSingletons: c.KeepSingletons,
+		Workers:        c.Workers,
+	}
 }
 
 // engineOpts translates the Config into the single options struct every
@@ -176,14 +262,20 @@ func (c Config) engineOpts() engine.Opts {
 }
 
 // Ranking returns all candidate values ordered so likely homographs come
-// first (pipeline step 3).
+// first (pipeline step 3). The ranking is sorted once and memoized; the
+// returned slice is shared across callers and must not be modified (TopK
+// hands out private copies).
 func (d *Detector) Ranking() []rank.Scored {
-	return rank.Values(d.graph.Values(), d.Scores(), d.cfg.Measure.order())
+	d.rankOnce.Do(func() {
+		d.ranking = rank.Values(d.graph.Values(), d.Scores(), d.cfg.Measure.order())
+	})
+	return d.ranking
 }
 
-// TopK returns the k best homograph candidates.
+// TopK returns the k best homograph candidates: an O(k) copy of the cached
+// ranking's prefix, freely mutable by the caller.
 func (d *Detector) TopK(k int) []rank.Scored {
-	return rank.TopK(d.Ranking(), k)
+	return slices.Clone(rank.TopK(d.Ranking(), k))
 }
 
 // Score returns the score of one value (normalized form), if present.

@@ -1,0 +1,84 @@
+package domainnet
+
+import (
+	"sync"
+	"testing"
+
+	"domainnet/internal/datagen"
+)
+
+// TestConcurrentDetectorAccess is the -race regression test for the lazy
+// caches: before the once-latches, two goroutines could both run the scorer
+// and race on the scores write. Every accessor is hammered concurrently and
+// all callers must observe the same shared slices.
+func TestConcurrentDetectorAccess(t *testing.T) {
+	d := New(datagen.Figure1Lake(), Config{Measure: BetweennessExact, KeepSingletons: true})
+
+	const goroutines = 16
+	scores := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0:
+				scores[i] = d.Scores()
+			case 1:
+				r := d.Ranking()
+				if len(r) == 0 {
+					t.Error("empty ranking")
+				}
+			case 2:
+				top := d.TopK(3)
+				if len(top) != 3 || top[0].Value != "JAGUAR" {
+					t.Errorf("TopK under concurrency = %v", top)
+				}
+			default:
+				if _, ok := d.Score("JAGUAR"); !ok {
+					t.Error("JAGUAR missing")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var shared []float64
+	for _, s := range scores {
+		if s == nil {
+			continue
+		}
+		if shared == nil {
+			shared = s
+		}
+		if &s[0] != &shared[0] {
+			t.Fatal("concurrent Scores callers got different slices: the scorer ran twice")
+		}
+	}
+}
+
+// TestTopKDoesNotAliasRanking guards the memoized ranking against callers
+// mutating their TopK result.
+func TestTopKDoesNotAliasRanking(t *testing.T) {
+	d := New(datagen.Figure1Lake(), Config{Measure: BetweennessExact, KeepSingletons: true})
+	top := d.TopK(2)
+	top[0].Value = "CLOBBERED"
+	if d.Ranking()[0].Value == "CLOBBERED" {
+		t.Fatal("TopK aliases the cached ranking")
+	}
+}
+
+// BenchmarkTopKRepeated shows that after the first call the ranking is
+// cached: repeated TopK is an O(k) copy, not a fresh sort of every value.
+func BenchmarkTopKRepeated(b *testing.B) {
+	sb := datagen.NewSB(1)
+	d := New(sb.Lake, Config{Measure: BetweennessExact})
+	d.TopK(10) // prime score + ranking caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if top := d.TopK(10); len(top) != 10 {
+			b.Fatal("short ranking")
+		}
+	}
+}

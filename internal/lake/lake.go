@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"domainnet/internal/engine"
 	"domainnet/internal/table"
 )
 
@@ -37,26 +38,66 @@ type Attribute struct {
 // Cardinality is the number of distinct (normalized, non-empty) values.
 func (a *Attribute) Cardinality() int { return len(a.Values) }
 
-// Lake is an in-memory data lake.
+// Lake is an in-memory data lake. Lakes are dynamic — tables come and go
+// (paper Definition 1) — so every mutation bumps a monotonically increasing
+// Version and invalidates only the touched table's attribute cache, keeping
+// updates delta-priced. Tables are treated as immutable once added; mutate a
+// table by removing and re-adding it. A Lake is not safe for concurrent use;
+// callers that serve readers during updates snapshot the derived state
+// instead (see internal/serve).
 type Lake struct {
-	Name   string
+	Name string
+	// Workers bounds the parallelism of attribute normalization in
+	// Attributes(). Zero means GOMAXPROCS. Owners that cap construction
+	// parallelism (the serving layer's Config.Workers) set this too.
+	Workers int
+
 	tables []*table.Table
-	attrs  []Attribute
-	dirty  bool
+	// tableAttrs memoizes each table's Attribute slice, parallel to tables;
+	// nil means not yet computed. Untouched tables keep their slices (and
+	// the backing arrays of every Attribute's Values/Freqs) across updates,
+	// which is what lets bipartite.Changed detect unchanged attributes by
+	// pointer identity.
+	tableAttrs [][]Attribute
+	names      map[string]struct{} // table names, for duplicate rejection
+	version    uint64
+	attrs      []Attribute // stitched Attributes() memo
+	attrsOK    bool        // attrs reflects the current version
 }
 
 // New returns an empty lake with the given name.
 func New(name string) *Lake { return &Lake{Name: name} }
 
+// Version reports the lake's update counter: zero for a freshly constructed
+// lake, incremented by every successful Add and RemoveTable. Derived state
+// (graphs, scores, rankings) is cached against this number.
+func (l *Lake) Version() uint64 { return l.version }
+
+// bump records a structural change: a new version, and a stale stitched view.
+func (l *Lake) bump() {
+	l.version++
+	l.attrsOK = false
+}
+
 // Add appends a table to the lake. The table is validated; structurally
 // unusable tables are rejected so that downstream stages can assume every
-// attribute has at least one value.
+// attribute has at least one value. Duplicate table names are rejected too:
+// they would produce colliding AttributeIDs, and RemoveTable could only ever
+// delete the first of the clones.
 func (l *Lake) Add(t *table.Table) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("lake %q: %w", l.Name, err)
 	}
+	if _, dup := l.names[t.Name]; dup {
+		return fmt.Errorf("lake %q: duplicate table %q", l.Name, t.Name)
+	}
+	if l.names == nil {
+		l.names = make(map[string]struct{})
+	}
+	l.names[t.Name] = struct{}{}
 	l.tables = append(l.tables, t)
-	l.dirty = true
+	l.tableAttrs = append(l.tableAttrs, nil)
+	l.bump()
 	return nil
 }
 
@@ -81,7 +122,9 @@ func (l *Lake) RemoveTable(name string) bool {
 	for i, t := range l.tables {
 		if t.Name == name {
 			l.tables = append(l.tables[:i], l.tables[i+1:]...)
-			l.dirty = true
+			l.tableAttrs = append(l.tableAttrs[:i], l.tableAttrs[i+1:]...)
+			delete(l.names, name)
+			l.bump()
 			return true
 		}
 	}
@@ -93,46 +136,69 @@ func (l *Lake) NumTables() int { return len(l.tables) }
 
 // Attributes returns one Attribute per table column, in deterministic order
 // (table insertion order, then column order). Values are normalized,
-// de-duplicated and sorted. The result is memoized until the lake changes.
+// de-duplicated and sorted. Per-table slices are memoized, so after an
+// update only the new tables' columns are normalized — the stitched result
+// reuses the cached slices (and their backing arrays) of every untouched
+// table — and the stitched slice itself is memoized until the next version
+// bump. Uncached tables are processed in parallel.
 func (l *Lake) Attributes() []Attribute {
-	if !l.dirty && l.attrs != nil {
+	if l.attrsOK {
 		return l.attrs
 	}
-	attrs := make([]Attribute, 0, l.approxAttrCount())
-	for _, t := range l.tables {
-		for ci := range t.Columns {
-			col := &t.Columns[ci]
-			counts := make(map[string]int, len(col.Values))
-			vals := make([]string, 0, len(col.Values))
-			for _, raw := range col.Values {
-				v := table.Normalize(raw)
-				if table.IsMissing(v) {
-					continue
-				}
-				if counts[v] == 0 {
-					vals = append(vals, v)
-				}
-				counts[v]++
-			}
-			if len(vals) == 0 {
-				continue // column of only empty cells contributes nothing
-			}
-			sort.Strings(vals)
-			freqs := make([]int, len(vals))
-			for i, v := range vals {
-				freqs[i] = counts[v]
-			}
-			attrs = append(attrs, Attribute{
-				ID:     table.AttributeID(t.Name, ci, col.Name),
-				Table:  t.Name,
-				Column: col.Name,
-				Values: vals,
-				Freqs:  freqs,
-			})
+	var missing []int
+	for i := range l.tables {
+		if l.tableAttrs[i] == nil {
+			missing = append(missing, i)
 		}
 	}
+	engine.Parallel(l.Workers, len(missing), func(_, lo, hi int) {
+		for _, i := range missing[lo:hi] {
+			l.tableAttrs[i] = tableAttributes(l.tables[i])
+		}
+	})
+	attrs := make([]Attribute, 0, l.approxAttrCount())
+	for i := range l.tables {
+		attrs = append(attrs, l.tableAttrs[i]...)
+	}
 	l.attrs = attrs
-	l.dirty = false
+	l.attrsOK = true
+	return attrs
+}
+
+// tableAttributes normalizes one table into its Attribute slice. The result
+// is never nil, so a nil cache entry unambiguously means "not yet computed".
+func tableAttributes(t *table.Table) []Attribute {
+	attrs := make([]Attribute, 0, len(t.Columns))
+	for ci := range t.Columns {
+		col := &t.Columns[ci]
+		counts := make(map[string]int, len(col.Values))
+		vals := make([]string, 0, len(col.Values))
+		for _, raw := range col.Values {
+			v := table.Normalize(raw)
+			if table.IsMissing(v) {
+				continue
+			}
+			if counts[v] == 0 {
+				vals = append(vals, v)
+			}
+			counts[v]++
+		}
+		if len(vals) == 0 {
+			continue // column of only empty cells contributes nothing
+		}
+		sort.Strings(vals)
+		freqs := make([]int, len(vals))
+		for i, v := range vals {
+			freqs[i] = counts[v]
+		}
+		attrs = append(attrs, Attribute{
+			ID:     table.AttributeID(t.Name, ci, col.Name),
+			Table:  t.Name,
+			Column: col.Name,
+			Values: vals,
+			Freqs:  freqs,
+		})
+	}
 	return attrs
 }
 

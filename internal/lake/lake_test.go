@@ -57,6 +57,77 @@ func TestAttributesMemoizedAndInvalidated(t *testing.T) {
 	}
 }
 
+func TestVersionMonotonic(t *testing.T) {
+	l := New("test")
+	if l.Version() != 0 {
+		t.Fatalf("fresh lake version = %d, want 0", l.Version())
+	}
+	l.MustAdd(table.New("t1").AddColumn("a", "x"))
+	l.MustAdd(table.New("t2").AddColumn("a", "y"))
+	if l.Version() != 2 {
+		t.Fatalf("version after two adds = %d, want 2", l.Version())
+	}
+	if l.RemoveTable("nope") {
+		t.Fatal("removed a missing table")
+	}
+	if l.Version() != 2 {
+		t.Errorf("failed removal bumped version to %d", l.Version())
+	}
+	if !l.RemoveTable("t1") {
+		t.Fatal("t1 not removed")
+	}
+	if l.Version() != 3 {
+		t.Errorf("version after removal = %d, want 3", l.Version())
+	}
+}
+
+func TestAddRejectsDuplicateName(t *testing.T) {
+	l := New("test")
+	l.MustAdd(table.New("t1").AddColumn("a", "x"))
+	if err := l.Add(table.New("t1").AddColumn("b", "y")); err == nil {
+		t.Fatal("duplicate table name should be rejected")
+	}
+	if l.NumTables() != 1 || l.Version() != 1 {
+		t.Errorf("rejected add mutated the lake: tables=%d version=%d", l.NumTables(), l.Version())
+	}
+	// Removing the name frees it for re-use.
+	if !l.RemoveTable("t1") {
+		t.Fatal("t1 not removed")
+	}
+	if err := l.Add(table.New("t1").AddColumn("b", "y")); err != nil {
+		t.Fatalf("re-adding a removed name should work: %v", err)
+	}
+}
+
+func TestPerTableAttributeMemoization(t *testing.T) {
+	l := twoTableLake(t)
+	before := l.Attributes()
+	// Adding a third table must not recompute t1/t2: the stitched slice is
+	// new, but the untouched attributes keep their backing arrays.
+	l.MustAdd(table.New("t3").AddColumn("x", "1", "2"))
+	after := l.Attributes()
+	if len(after) != 4 {
+		t.Fatalf("attrs = %d, want 4", len(after))
+	}
+	for i := range before {
+		if &before[i].Values[0] != &after[i].Values[0] {
+			t.Errorf("attr %d (%s) was recomputed on an unrelated add", i, before[i].ID)
+		}
+	}
+	// Removing the middle table shifts the stitched view but still reuses
+	// the survivors' slices.
+	if !l.RemoveTable("t2") {
+		t.Fatal("t2 not removed")
+	}
+	final := l.Attributes()
+	if len(final) != 3 {
+		t.Fatalf("attrs after removal = %d, want 3", len(final))
+	}
+	if final[2].ID != "t3.x" || &final[2].Values[0] != &after[3].Values[0] {
+		t.Error("t3 attributes were recomputed by removing t2")
+	}
+}
+
 func TestAddRejectsInvalidTable(t *testing.T) {
 	l := New("test")
 	if err := l.Add(table.New("bad")); err == nil {

@@ -1,0 +1,302 @@
+// Package serve is the concurrent serving layer over one DomainNet lake: a
+// stdlib-only, embeddable HTTP service (cmd/domainnetd) built for the
+// ROADMAP's heavy-read, changing-lake workload.
+//
+// The design is a single atomically swapped immutable snapshot. Readers
+// (/topk, /score, /stats, /scorers) load the snapshot pointer and never take
+// a lock, never block, and never observe a half-applied update. Writers
+// (POST/DELETE /tables) serialize on a mutex, mutate the lake, rebuild the
+// graph incrementally from the previous snapshot (bipartite.Rebuild — only
+// the touched table's attributes are re-processed), and publish the result
+// with one atomic store. In-flight readers keep the old snapshot alive until
+// they finish; new requests see the new version.
+//
+// Scores and rankings are computed lazily per (snapshot, measure) the first
+// time a request asks for them, behind the Detector's once-latches, so
+// concurrent requests for the same measure share one computation and
+// requests for other measures or other versions are not blocked by it.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/lake"
+	"domainnet/internal/rank"
+	"domainnet/internal/table"
+)
+
+// maxUpload bounds a single CSV table upload.
+const maxUpload = 64 << 20
+
+// Server serves homograph detection over a mutable lake. Create one with
+// New; it implements http.Handler.
+type Server struct {
+	cfg domainnet.Config // base detector config; Measure is the default
+
+	writeMu sync.Mutex // serializes lake mutations and snapshot swaps
+	lake    *lake.Lake // guarded by writeMu
+
+	snap atomic.Pointer[snapshot]
+	mux  *http.ServeMux
+}
+
+// snapshot is one immutable published version of the served state. The
+// graph and stats are fixed at swap time; detectors (score/ranking caches)
+// are created lazily per measure under a short-held mutex and are themselves
+// safe for concurrent use.
+type snapshot struct {
+	version uint64
+	stats   lake.Stats
+	graph   *bipartite.Graph
+
+	mu   sync.Mutex
+	dets map[domainnet.Measure]*domainnet.Detector
+}
+
+// detector returns the snapshot's detector for a measure, creating it on
+// first use. The lock covers only the map access; scoring happens in the
+// detector's own once-latch.
+func (sn *snapshot) detector(m domainnet.Measure, base domainnet.Config) *domainnet.Detector {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	d, ok := sn.dets[m]
+	if !ok {
+		cfg := base
+		cfg.Measure = m
+		d = domainnet.FromGraph(sn.graph, cfg)
+		sn.dets[m] = d
+	}
+	return d
+}
+
+// New builds a server over the lake's current contents and publishes the
+// initial snapshot (a full graph build; all later swaps are incremental).
+// The lake must not be used by other goroutines afterwards — the server
+// owns it, and applies the Config's Workers bound to its normalization too.
+func New(l *lake.Lake, cfg domainnet.Config) *Server {
+	l.Workers = cfg.Workers
+	s := &Server{cfg: cfg, lake: l}
+	s.publish()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /score", s.handleScore)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /scorers", s.handleScorers)
+	mux.HandleFunc("POST /tables/{name}", s.handleAddTable)
+	mux.HandleFunc("DELETE /tables/{name}", s.handleRemoveTable)
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Version reports the currently served snapshot version.
+func (s *Server) Version() uint64 { return s.snap.Load().version }
+
+// publish rebuilds derived state from the lake and swaps in a new snapshot.
+// Callers must hold writeMu (or be the constructor, before the server
+// escapes). The rebuild is incremental against the previous snapshot's
+// graph; when the graph comes back unchanged the previous snapshot's warm
+// detectors are carried over.
+func (s *Server) publish() {
+	attrs := s.lake.Attributes()
+	prev := s.snap.Load()
+	var g *bipartite.Graph
+	bopts := bipartite.Options{KeepSingletons: s.cfg.KeepSingletons, Workers: s.cfg.Workers}
+	if prev == nil {
+		g = bipartite.FromAttributes(attrs, bopts)
+	} else {
+		g = bipartite.Rebuild(prev.graph, attrs, bipartite.Changed(prev.graph, attrs), bopts)
+	}
+	// Assemble the stats without lake.Stats(): that scan re-hashes every
+	// cell lake-wide, which would erode the delta-priced write path. The
+	// distinct-value count is the graph's retained occurrence-map size, and
+	// the per-attribute cell counts are already materialized.
+	stats := lake.Stats{
+		Tables:     s.lake.NumTables(),
+		Attributes: len(attrs),
+		Values:     g.SourceValueCount(),
+	}
+	for i := range attrs {
+		stats.Cells += len(attrs[i].Values)
+	}
+	next := &snapshot{
+		version: s.lake.Version(),
+		stats:   stats,
+		graph:   g,
+		dets:    make(map[domainnet.Measure]*domainnet.Detector),
+	}
+	if prev != nil && g == prev.graph {
+		// Detectors are immutable; share the warm caches.
+		prev.mu.Lock()
+		for m, d := range prev.dets {
+			next.dets[m] = d
+		}
+		prev.mu.Unlock()
+	}
+	s.snap.Store(next)
+}
+
+// measure resolves the optional ?measure= query parameter against the
+// server's default, writing a 400 and returning false on unknown names.
+func (s *Server) measure(w http.ResponseWriter, r *http.Request) (domainnet.Measure, bool) {
+	name := r.URL.Query().Get("measure")
+	if name == "" {
+		return s.cfg.Measure, true
+	}
+	m, ok := domainnet.ParseMeasure(name)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown measure %q", name))
+		return 0, false
+	}
+	return m, true
+}
+
+type scoredJSON struct {
+	Value string  `json:"value"`
+	Score float64 `json:"score"`
+}
+
+func toScoredJSON(in []rank.Scored) []scoredJSON {
+	out := make([]scoredJSON, len(in))
+	for i, s := range in {
+		out[i] = scoredJSON{Value: s.Value, Score: s.Score}
+	}
+	return out
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.measure(w, r)
+	if !ok {
+		return
+	}
+	k := 50
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		var err error
+		if k, err = strconv.Atoi(kq); err != nil || k < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", kq))
+			return
+		}
+	}
+	sn := s.snap.Load()
+	top := sn.detector(m, s.cfg).TopK(k)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": sn.version,
+		"measure": m.String(),
+		"k":       len(top),
+		"results": toScoredJSON(top),
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.measure(w, r)
+	if !ok {
+		return
+	}
+	raw := r.URL.Query().Get("value")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing value parameter")
+		return
+	}
+	v := table.Normalize(raw)
+	sn := s.snap.Load()
+	score, found := sn.detector(m, s.cfg).Score(v)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": sn.version,
+		"measure": m.String(),
+		"value":   v,
+		"score":   score,
+		"found":   found,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": sn.version,
+		"lake": map[string]int{
+			"tables":     sn.stats.Tables,
+			"attributes": sn.stats.Attributes,
+			"values":     sn.stats.Values,
+			"cells":      sn.stats.Cells,
+		},
+		"graph": map[string]int{
+			"value_nodes": sn.graph.NumValues(),
+			"attr_nodes":  sn.graph.NumAttrs(),
+			"edges":       sn.graph.NumEdges(),
+		},
+	})
+}
+
+func (s *Server) handleScorers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default":  s.cfg.Measure.String(),
+		"measures": domainnet.MeasureNames(),
+		"scorers":  domainnet.Scorers(),
+	})
+}
+
+func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxUpload))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := t.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeMu.Lock()
+	if err := s.lake.Add(t); err != nil {
+		s.writeMu.Unlock()
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.publish()
+	version := s.Version()
+	s.writeMu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"version": version,
+		"table":   name,
+		"columns": t.NumColumns(),
+		"rows":    t.NumRows(),
+	})
+}
+
+func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.writeMu.Lock()
+	if !s.lake.RemoveTable(name) {
+		s.writeMu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no table %q", name))
+		return
+	}
+	s.publish()
+	version := s.Version()
+	s.writeMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": version,
+		"table":   name,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := New(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        domainnet.BetweennessExact,
+		KeepSingletons: true,
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d, want %d (%s)", url, resp.StatusCode, wantCode, body)
+	}
+	return decodeJSON(t, resp.Body)
+}
+
+func decodeJSON(t *testing.T, r io.Reader) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func do(t *testing.T, method, url string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestReadEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+
+	top := getJSON(t, ts.URL+"/topk?k=2", http.StatusOK)
+	results := top["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("topk results = %d, want 2", len(results))
+	}
+	if first := results[0].(map[string]any)["value"]; first != "JAGUAR" {
+		t.Errorf("top candidate = %v, want JAGUAR (Figure 1)", first)
+	}
+	if top["version"].(float64) != 4 {
+		t.Errorf("version = %v, want 4 (four tables added)", top["version"])
+	}
+
+	// Score lookups normalize the queried value.
+	score := getJSON(t, ts.URL+"/score?value=jaguar", http.StatusOK)
+	if score["found"] != true || score["value"] != "JAGUAR" {
+		t.Errorf("score response = %v", score)
+	}
+	missing := getJSON(t, ts.URL+"/score?value=zzz-not-here", http.StatusOK)
+	if missing["found"] != false {
+		t.Error("absent value reported found")
+	}
+
+	// The served stats are assembled without a lake-wide rescan; they must
+	// still equal lake.Stats() of Figure 1 (tables=4 attrs=12 values=37
+	// cells=43).
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	lk := stats["lake"].(map[string]any)
+	for field, want := range map[string]float64{
+		"tables": 4, "attributes": 12, "values": 37, "cells": 43,
+	} {
+		if got := lk[field].(float64); got != want {
+			t.Errorf("stats.lake.%s = %v, want %v", field, got, want)
+		}
+	}
+
+	scorers := getJSON(t, ts.URL+"/scorers", http.StatusOK)
+	if len(scorers["scorers"].([]any)) < 7 {
+		t.Errorf("scorers = %v", scorers)
+	}
+
+	// Per-request measure override and error paths.
+	getJSON(t, ts.URL+"/topk?measure=degree", http.StatusOK)
+	getJSON(t, ts.URL+"/topk?measure=nope", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/topk?k=-1", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/score", http.StatusBadRequest)
+}
+
+func TestWriteEndpointsChangeRanking(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Removing the car and company tables (Definition 1) demotes JAGUAR.
+	for _, name := range []string{"T3", "T4"} {
+		resp := do(t, http.MethodDelete, ts.URL+"/tables/"+name, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %s = %d", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	top := getJSON(t, ts.URL+"/topk?k=1", http.StatusOK)
+	if top["version"].(float64) != 6 {
+		t.Errorf("version after two deletes = %v, want 6", top["version"])
+	}
+
+	// Re-adding a car table restores the second meaning.
+	csv := "model,make\nXE,Jaguar\nPrius,Toyota\n500,Fiat\n"
+	resp := do(t, http.MethodPost, ts.URL+"/tables/T3b", strings.NewReader(csv))
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST = %d (%s)", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+	top = getJSON(t, ts.URL+"/topk?k=1", http.StatusOK)
+	first := top["results"].([]any)[0].(map[string]any)["value"]
+	if first != "JAGUAR" {
+		t.Errorf("top after re-add = %v, want JAGUAR", first)
+	}
+
+	// Errors: duplicate name, missing table, malformed CSV.
+	resp = do(t, http.MethodPost, ts.URL+"/tables/T1", strings.NewReader(csv))
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate POST = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = do(t, http.MethodDelete, ts.URL+"/tables/NOPE", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing DELETE = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = do(t, http.MethodPost, ts.URL+"/tables/empty", strings.NewReader(""))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty CSV POST = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestConcurrentReadersDuringWrites is the snapshot-isolation acceptance
+// test: parallel /topk, /score and /stats readers run while a writer churns
+// tables. Every response must be a 200 over some complete snapshot — no
+// locked-out reads, no torn state. Run with -race.
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	ts := newTestServer(t)
+
+	const readers = 8
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/topk?k=5", "/score?value=jaguar", "/stats", "/topk?measure=degree&k=3"}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + paths[i%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader got %d", resp.StatusCode)
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}(i)
+	}
+
+	// Writer: repeatedly add and remove a small table, forcing incremental
+	// rebuilds and snapshot swaps under the readers.
+	csv := "animal,city\nJaguar,Memphis\nPuma,Berlin\nOcelot,Lima\n"
+	for round := 0; round < 25; round++ {
+		name := fmt.Sprintf("churn%02d", round)
+		resp := do(t, http.MethodPost, ts.URL+"/tables/"+name, strings.NewReader(csv))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("round %d: POST = %d", round, resp.StatusCode)
+		}
+		resp.Body.Close()
+		resp = do(t, http.MethodDelete, ts.URL+"/tables/"+name, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: DELETE = %d", round, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	close(done)
+	wg.Wait()
+
+	// After 25 add/remove rounds the lake is back to Figure 1: the final
+	// snapshot must agree with a cold build.
+	top := getJSON(t, ts.URL+"/topk?k=1", http.StatusOK)
+	if first := top["results"].([]any)[0].(map[string]any)["value"]; first != "JAGUAR" {
+		t.Errorf("final top = %v, want JAGUAR", first)
+	}
+	if v := top["version"].(float64); v != 4+50 {
+		t.Errorf("final version = %v, want 54", v)
+	}
+}
