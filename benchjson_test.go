@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -21,7 +22,11 @@ import (
 	"domainnet/internal/bipartite"
 	"domainnet/internal/centrality"
 	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
 	"domainnet/internal/engine"
+	"domainnet/internal/lake"
+	"domainnet/internal/persist"
+	"domainnet/internal/serve"
 	"domainnet/internal/table"
 )
 
@@ -103,6 +108,82 @@ func TestEmitBenchJSON(t *testing.T) {
 				churn.Lake.MustAdd(variants[(i+1)%2])
 				attrs := churn.Lake.Attributes()
 				g = bipartite.Rebuild(g, attrs, bipartite.Changed(g, attrs), bipartite.Options{})
+			}
+		}},
+		{"cold_start_sb", func(b *testing.B) {
+			// The restart path a snapshot replaces: read the lake back from
+			// CSV files, normalize every cell, run the full graph build.
+			dir, err := os.MkdirTemp("", "domainnet-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			if err := datagen.NewSB(1).Lake.SaveDir(dir); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, err := lake.LoadDir(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g := bipartite.FromLake(l, bipartite.Options{}); g.NumEdges() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		}},
+		{"warm_start_sb", func(b *testing.B) {
+			// Process restart with a durable snapshot: decode the persisted
+			// lake + attributes + graph (interned values, adjacency,
+			// occurrence counts) instead of re-parsing CSVs, re-normalizing
+			// every cell and running the full build. Compare against
+			// cold_start_sb — the same boot without the snapshot.
+			dir, err := os.MkdirTemp("", "domainnet-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path := filepath.Join(dir, "sb.snapshot")
+			warm := datagen.NewSB(1)
+			if err := persist.Save(path, warm.Lake, bipartite.FromLake(warm.Lake, bipartite.Options{})); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sn, err := persist.Load(path)
+				if err != nil || sn.Graph == nil {
+					b.Fatalf("snapshot load: %v", err)
+				}
+			}
+		}},
+		{"batch_ingest_sb", func(b *testing.B) {
+			// Batch ingest through the serving write path: every iteration
+			// applies a 3-table batch (and drops the previous one) as ONE
+			// coalesced mutation burst with ONE publish and ONE incremental
+			// rebuild — the per-table endpoint would pay 3 of each. Compare
+			// per-table cost against incremental_rebuild_sb.
+			churn := datagen.NewSB(1)
+			srv := serve.New(churn.Lake, domainnet.Config{Measure: domainnet.DegreeBaseline})
+			mkBatch := func(i int) []*table.Table {
+				out := make([]*table.Table, 3)
+				for j := range out {
+					out[j] = table.New(fmt.Sprintf("batch%d_%d", i%2, j)).
+						AddColumn("animal", "jaguar", "puma", fmt.Sprintf("beast%d", j)).
+						AddColumn("city", "memphis", "lima", fmt.Sprintf("town%d", j))
+				}
+				return out
+			}
+			var prev []string
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				add := mkBatch(i)
+				if _, err := srv.Apply(add, prev); err != nil {
+					b.Fatal(err)
+				}
+				prev = prev[:0]
+				for _, t := range add {
+					prev = append(prev, t.Name)
+				}
 			}
 		}},
 		{"brandes_exact_sb", func(b *testing.B) {

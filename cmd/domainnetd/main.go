@@ -5,6 +5,7 @@
 // Usage:
 //
 //	domainnetd [-addr :8080] [-dir path/to/lake] [-name lake]
+//	           [-snapshot lake.snapshot] [-checkpoint-every 0]
 //	           [-measure bc|bc-exact|bc-eps|lcc|lcc-attr|degree|harmonic]
 //	           [-samples 0] [-seed 1] [-workers 0] [-keep-singletons]
 //
@@ -14,30 +15,49 @@
 //	GET    /score?value=jaguar     one value's score (normalized lookup)
 //	GET    /stats                  lake and graph statistics + version
 //	GET    /scorers                available measures
+//	POST   /tables                 batch-add tables (multipart, CSV per part)
 //	POST   /tables/{name}          add a table (request body: CSV)
 //	DELETE /tables/{name}          remove a table
 //
 // Reads never block on writes: each response is served from the snapshot
 // current when it arrived, stamped with the lake version it reflects.
+//
+// Durability: with -snapshot set, the daemon warm-starts from the snapshot
+// file when it exists — the persisted graph is loaded instead of rebuilt, so
+// a restart of a large lake skips the full construction — and checkpoints the
+// lake+graph back to the file on graceful shutdown (SIGINT/SIGTERM) and,
+// with -checkpoint-every K, after every K-th publish. Checkpoints are
+// written atomically (temp file + rename), so a crash mid-write never
+// corrupts the previous snapshot.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
+	"domainnet/internal/bipartite"
 	"domainnet/internal/domainnet"
 	"domainnet/internal/lake"
+	"domainnet/internal/persist"
 	"domainnet/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("dir", "", "directory of CSV tables to pre-load (optional; empty starts an empty lake)")
+	dir := flag.String("dir", "", "directory of CSV tables to pre-load (ignored when -snapshot exists; empty starts an empty lake)")
 	name := flag.String("name", "lake", "lake name when starting empty")
+	snapshot := flag.String("snapshot", "", "snapshot file: warm-start from it when present, checkpoint to it on shutdown")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint after every K publishes (0 = only on shutdown; needs -snapshot)")
 	measure := flag.String("measure", "bc", "default scoring measure")
 	samples := flag.Int("samples", 0, "approximate-BC sample count (0 = 1% of nodes)")
 	seed := flag.Int64("seed", 1, "random seed for sampling")
@@ -51,25 +71,127 @@ func main() {
 			*measure, strings.Join(domainnet.MeasureNames(), ", "))
 		os.Exit(2)
 	}
-
-	var l *lake.Lake
-	if *dir != "" {
-		var err error
-		if l, err = lake.LoadDir(*dir); err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		l = lake.New(*name)
+	if *checkpointEvery > 0 && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint-every requires -snapshot")
+		os.Exit(2)
 	}
 
-	s := serve.New(l, domainnet.Config{
+	// Warm start: a snapshot file beats -dir, because it carries the derived
+	// graph state a CSV directory cannot.
+	var l *lake.Lake
+	var warmGraph *bipartite.Graph
+	if *snapshot != "" {
+		switch sn, err := persist.Load(*snapshot); {
+		case err == nil:
+			l, warmGraph = sn.Lake, sn.Graph
+			if warmGraph != nil && warmGraph.KeepsSingletons() != *keep {
+				// Don't let the serving layer reject the graph silently: a
+				// flag change voiding the snapshot turns the restart into a
+				// full build, and the operator should see why.
+				log.Printf("domainnetd: snapshot graph was built with keep-singletons=%v but -keep-singletons=%v; discarding it and cold-building",
+					warmGraph.KeepsSingletons(), *keep)
+				warmGraph = nil
+			}
+			log.Printf("domainnetd: warm start from %s (lake %q, %d tables, version %d, graph %v)",
+				*snapshot, l.Name, l.NumTables(), l.Version(), warmGraph != nil)
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("domainnetd: %s absent, cold start (will checkpoint there)", *snapshot)
+		default:
+			log.Fatal(err)
+		}
+	}
+	if l == nil {
+		if *dir != "" {
+			var err error
+			if l, err = lake.LoadDir(*dir); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			l = lake.New(*name)
+		}
+	}
+
+	// The periodic checkpointer: AfterPublish signals (non-blocking, write
+	// lock held) and a goroutine persists outside the hot path.
+	ckpt := make(chan struct{}, 1)
+	var opts serve.Options
+	opts.Graph = warmGraph
+	if *checkpointEvery > 0 {
+		var writes int
+		opts.AfterPublish = func(uint64) {
+			writes++
+			if writes%*checkpointEvery == 0 {
+				select {
+				case ckpt <- struct{}{}:
+				default: // a checkpoint is already pending; coalesce
+				}
+			}
+		}
+	}
+
+	s := serve.NewWithOptions(l, domainnet.Config{
 		Measure:        m,
 		Samples:        *samples,
 		Seed:           *seed,
 		Workers:        *workers,
 		KeepSingletons: *keep,
-	})
+	}, opts)
+
+	// Checkpoints encode under the server's write lock (the lake must not
+	// mutate mid-encode) but pay the disk write and fsyncs outside it, so
+	// writers stall only for the in-memory marshal, never for I/O. ckptMu
+	// keeps a slow periodic write from racing the shutdown checkpoint.
+	var ckptMu sync.Mutex
+	checkpoint := func(reason string) {
+		if *snapshot == "" {
+			return
+		}
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		var buf []byte
+		if err := s.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
+			buf = persist.Marshal(l, g)
+			return nil
+		}); err != nil {
+			log.Printf("domainnetd: checkpoint (%s) failed: %v", reason, err)
+			return
+		}
+		if err := persist.WriteFile(*snapshot, buf); err != nil {
+			log.Printf("domainnetd: checkpoint (%s) failed: %v", reason, err)
+			return
+		}
+		log.Printf("domainnetd: checkpointed %s (%s)", *snapshot, reason)
+	}
+	go func() {
+		for range ckpt {
+			checkpoint("periodic")
+		}
+	}()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("domainnetd: serving lake %q (%d tables, snapshot version %d) on %s",
 		l.Name, l.NumTables(), s.Version(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, s))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("domainnetd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("domainnetd: shutdown: %v", err)
+	}
+	checkpoint("shutdown")
 }

@@ -154,6 +154,7 @@ var valueHashSeed = maphash.MakeSeed()
 // adjacency fill, neighbor sorting — runs sharded across opts.Workers, and
 // the resulting graph is bit-identical for every worker count.
 func FromAttributes(attrs []lake.Attribute, opts Options) *Graph {
+	fullBuilds.Add(1)
 	nAttr := len(attrs)
 	workers := engine.Opts{Workers: opts.Workers}.EffectiveWorkers(nAttr)
 

@@ -1,0 +1,112 @@
+package bipartite
+
+// Exported graph state for persistence (internal/persist). A Graph is CSR
+// arrays plus delta-rebuild bookkeeping; State exposes exactly the fields a
+// codec must round-trip, without committing the codec to this package's
+// unexported layout. srcAttrs is deliberately absent: it aliases the
+// attribute list of the lake the graph was built from, and the loader re-wires
+// it from the rehydrated lake (lake.Attributes is deterministic), which also
+// restores the pointer-identity fast path Changed relies on.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"domainnet/internal/lake"
+)
+
+// State is the persistable form of an incremental bipartite Graph. All
+// slices alias the graph's internal storage — treat a State as read-only.
+type State struct {
+	Values         []string
+	AttrIDs        []string
+	Offsets        []int64
+	Adj            []int32
+	Occ            map[string]int64
+	KeepSingletons bool
+}
+
+// Export returns the graph's persistable state, or false when the graph
+// cannot warm-start a process: tripartite graphs and hand-assembled graphs
+// carry no delta state, so a loader must rebuild from attributes instead.
+func (g *Graph) Export() (*State, bool) {
+	if !g.incremental || g.nRows != 0 {
+		return nil, false
+	}
+	return &State{
+		Values:         g.values,
+		AttrIDs:        g.attrs,
+		Offsets:        g.offsets,
+		Adj:            g.adj,
+		Occ:            g.occ,
+		KeepSingletons: g.keepSingletons,
+	}, true
+}
+
+// KeepsSingletons reports whether the graph was built with
+// Options.KeepSingletons; serving layers use it to decide whether a
+// persisted graph matches their configuration before warm-starting from it.
+func (g *Graph) KeepsSingletons() bool { return g.keepSingletons }
+
+// FromState reconstructs a Graph from persisted state, wiring it to srcAttrs
+// — the attribute list of the lake the state was saved from, in the same
+// order (the loader obtains it from the rehydrated lake). The state is
+// validated structurally: attribute count and IDs must match srcAttrs, the
+// offsets must be a monotone prefix-sum over all nodes, and every adjacency
+// entry must be in range. The resulting graph supports Rebuild exactly like
+// the graph that was exported.
+func FromState(s *State, srcAttrs []lake.Attribute) (*Graph, error) {
+	nVal, nAttr := len(s.Values), len(s.AttrIDs)
+	n := nVal + nAttr
+	if len(srcAttrs) != nAttr {
+		return nil, fmt.Errorf("bipartite: state has %d attributes, lake has %d", nAttr, len(srcAttrs))
+	}
+	for i := range srcAttrs {
+		if srcAttrs[i].ID != s.AttrIDs[i] {
+			return nil, fmt.Errorf("bipartite: attribute %d is %q in state, %q in lake",
+				i, s.AttrIDs[i], srcAttrs[i].ID)
+		}
+	}
+	if len(s.Offsets) != n+1 {
+		return nil, fmt.Errorf("bipartite: %d offsets for %d nodes", len(s.Offsets), n)
+	}
+	if s.Offsets[0] != 0 || s.Offsets[n] != int64(len(s.Adj)) {
+		return nil, fmt.Errorf("bipartite: offsets span [%d, %d], adjacency has %d entries",
+			s.Offsets[0], s.Offsets[n], len(s.Adj))
+	}
+	for i := 0; i < n; i++ {
+		if s.Offsets[i] > s.Offsets[i+1] {
+			return nil, fmt.Errorf("bipartite: offsets decrease at node %d", i)
+		}
+	}
+	for _, v := range s.Adj {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("bipartite: adjacency entry %d out of range [0, %d)", v, n)
+		}
+	}
+	valueIndex := make(map[string]int32, nVal)
+	for i, v := range s.Values {
+		valueIndex[v] = int32(i)
+	}
+	return &Graph{
+		values:         s.Values,
+		attrs:          s.AttrIDs,
+		offsets:        s.Offsets,
+		adj:            s.Adj,
+		valueIndex:     valueIndex,
+		srcAttrs:       srcAttrs,
+		occ:            s.Occ,
+		keepSingletons: s.KeepSingletons,
+		incremental:    true,
+	}, nil
+}
+
+// fullBuilds counts FromAttributes invocations process-wide. Warm-start
+// tests assert it stays flat across a snapshot load — the whole point of
+// persisting the graph is never running the full build on restart.
+var fullBuilds atomic.Int64
+
+// FullBuilds reports how many full (from-scratch) graph constructions have
+// run in this process. It is a test observability hook, not a metric to
+// alarm on.
+func FullBuilds() int64 { return fullBuilds.Load() }

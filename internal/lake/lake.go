@@ -38,6 +38,19 @@ type Attribute struct {
 // Cardinality is the number of distinct (normalized, non-empty) values.
 func (a *Attribute) Cardinality() int { return len(a.Values) }
 
+// Cells is the number of non-empty cells in the column: the sum of Freqs, or
+// the distinct-value count when Freqs is nil (every value counting once).
+func (a *Attribute) Cells() int {
+	if a.Freqs == nil {
+		return len(a.Values)
+	}
+	n := 0
+	for _, f := range a.Freqs {
+		n += f
+	}
+	return n
+}
+
 // Lake is an in-memory data lake. Lakes are dynamic — tables come and go
 // (paper Definition 1) — so every mutation bumps a monotonically increasing
 // Version and invalidates only the touched table's attribute cache, keeping
@@ -109,6 +122,64 @@ func (l *Lake) MustAdd(t *table.Table) {
 	}
 }
 
+// Rehydrate reconstructs a lake from persisted state (internal/persist): the
+// given tables are added in order and the version counter is restored, so
+// derived state cached against the saved version (graph snapshots, rankings)
+// stays valid across a process restart. The version must be at least the
+// table count, since every Add bumped it once in the original process.
+func Rehydrate(name string, version uint64, tables []*table.Table) (*Lake, error) {
+	l := New(name)
+	for _, t := range tables {
+		if err := l.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	if version < l.version {
+		return nil, fmt.Errorf("lake %q: persisted version %d below table count %d",
+			name, version, len(tables))
+	}
+	l.version = version
+	return l, nil
+}
+
+// RehydrateWithAttributes is Rehydrate for loaders that persisted the
+// normalized per-table attribute slices alongside the raw tables: attrs
+// (parallel to tables) seeds the per-table caches Attributes() stitches, so
+// a warm start never re-normalizes a cell. A nil entry leaves that table's
+// cache empty (it is recomputed on first use); non-nil entries are trusted —
+// the persistence layer checksums them — beyond structural sanity checks.
+func RehydrateWithAttributes(name string, version uint64, tables []*table.Table, attrs [][]Attribute) (*Lake, error) {
+	if len(attrs) != len(tables) {
+		return nil, fmt.Errorf("lake %q: %d attribute slices for %d tables", name, len(attrs), len(tables))
+	}
+	l, err := Rehydrate(name, version, tables)
+	if err != nil {
+		return nil, err
+	}
+	for i, as := range attrs {
+		if as == nil {
+			continue
+		}
+		for j := range as {
+			if as[j].Table != tables[i].Name || len(as[j].Values) == 0 ||
+				(as[j].Freqs != nil && len(as[j].Freqs) != len(as[j].Values)) {
+				return nil, fmt.Errorf("lake %q: malformed persisted attribute %q", name, as[j].ID)
+			}
+		}
+		l.tableAttrs[i] = as
+	}
+	return l, nil
+}
+
+// TableAttributes returns every table's normalized Attribute slice, parallel
+// to Tables(), computing any not yet cached. It exists for the persistence
+// layer; the returned slices alias the lake's caches and must not be
+// modified.
+func (l *Lake) TableAttributes() [][]Attribute {
+	l.Attributes()
+	return l.tableAttrs
+}
+
 // Tables returns the tables in insertion order. The slice is shared; callers
 // must not mutate it.
 func (l *Lake) Tables() []*table.Table { return l.tables }
@@ -121,8 +192,17 @@ func (l *Lake) Tables() []*table.Table { return l.tables }
 func (l *Lake) RemoveTable(name string) bool {
 	for i, t := range l.tables {
 		if t.Name == name {
-			l.tables = append(l.tables[:i], l.tables[i+1:]...)
-			l.tableAttrs = append(l.tableAttrs[:i], l.tableAttrs[i+1:]...)
+			// Shift left and zero the vacated tail slot: a plain append
+			// truncation keeps the last *table.Table (and its attribute
+			// cache, with every value string) reachable through the backing
+			// array, pinning removed tables' memory under churn.
+			last := len(l.tables) - 1
+			copy(l.tables[i:], l.tables[i+1:])
+			l.tables[last] = nil
+			l.tables = l.tables[:last]
+			copy(l.tableAttrs[i:], l.tableAttrs[i+1:])
+			l.tableAttrs[last] = nil
+			l.tableAttrs = l.tableAttrs[:last]
 			delete(l.names, name)
 			l.bump()
 			return true
@@ -218,13 +298,15 @@ type Stats struct {
 	Cells      int // number of non-empty cells (incidence-matrix entries)
 }
 
-// Stats computes summary statistics over the lake.
+// Stats computes summary statistics over the lake. Cells counts every
+// non-empty cell (via each attribute's Freqs), not just distinct values — a
+// column holding the same value twice contributes two cells.
 func (l *Lake) Stats() Stats {
 	attrs := l.Attributes()
 	values := make(map[string]struct{})
 	cells := 0
 	for i := range attrs {
-		cells += len(attrs[i].Values)
+		cells += attrs[i].Cells()
 		for _, v := range attrs[i].Values {
 			values[v] = struct{}{}
 		}

@@ -145,9 +145,71 @@ func TestStats(t *testing.T) {
 	if s.Values != 6 {
 		t.Errorf("values = %d, want 6", s.Values)
 	}
-	// Cells: 2 + 3 + 2 distinct entries.
-	if s.Cells != 7 {
-		t.Errorf("cells = %d, want 7", s.Cells)
+	// Cells counts non-empty cells, not distinct values: t1.animal has
+	// PANDA twice (3 cells), t1.zoo 3, t2.make 2 (empty cell dropped).
+	if s.Cells != 8 {
+		t.Errorf("cells = %d, want 8", s.Cells)
+	}
+}
+
+func TestStatsCellsCountDuplicates(t *testing.T) {
+	// Regression: Cells used to sum distinct values and undercount lakes
+	// with duplicated cells.
+	l := New("dups")
+	l.MustAdd(table.New("t").
+		AddColumn("c", "x", "x", "x", "y", "").
+		AddColumn("d", "x", "y"))
+	s := l.Stats()
+	if s.Values != 2 {
+		t.Errorf("values = %d, want 2", s.Values)
+	}
+	if s.Cells != 6 { // 4 non-empty in c + 2 in d
+		t.Errorf("cells = %d, want 6", s.Cells)
+	}
+	a := l.Attributes()[0]
+	if a.Cells() != 4 {
+		t.Errorf("attr cells = %d, want 4", a.Cells())
+	}
+	// Nil Freqs means one cell per value.
+	bare := Attribute{Values: []string{"A", "B"}}
+	if bare.Cells() != 2 {
+		t.Errorf("nil-freqs cells = %d, want 2", bare.Cells())
+	}
+}
+
+func TestRemoveTableReleasesTailSlot(t *testing.T) {
+	// Regression: the append-truncation removal left the last *table.Table
+	// and its attribute cache reachable in the backing arrays.
+	l := twoTableLake(t)
+	l.Attributes() // populate per-table caches
+	if !l.RemoveTable("t2") {
+		t.Fatal("t2 not removed")
+	}
+	tables := l.tables[:cap(l.tables)]
+	if tables[len(l.tables)] != nil {
+		t.Error("vacated table slot still holds a *table.Table")
+	}
+	attrs := l.tableAttrs[:cap(l.tableAttrs)]
+	if attrs[len(l.tableAttrs)] != nil {
+		t.Error("vacated attribute-cache slot still holds a slice")
+	}
+}
+
+func TestRehydrateRestoresVersion(t *testing.T) {
+	src := twoTableLake(t)
+	src.RemoveTable("t2") // version 3: two adds + one removal
+	l, err := Rehydrate(src.Name, src.Version(), src.Tables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Version() != 3 {
+		t.Errorf("version = %d, want 3", l.Version())
+	}
+	if l.NumTables() != 1 || l.Tables()[0].Name != "t1" {
+		t.Errorf("tables = %v", l.Tables())
+	}
+	if _, err := Rehydrate("bad", 1, twoTableLake(t).Tables()); err == nil {
+		t.Error("version below table count not rejected")
 	}
 }
 

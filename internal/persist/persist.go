@@ -1,0 +1,396 @@
+// Package persist is the durable-snapshot subsystem: a versioned,
+// zero-dependency binary codec that round-trips a lake.Lake together with
+// its bipartite.Graph, so a process restart warm-starts from disk instead of
+// re-normalizing and re-building a million-value lake from CSVs.
+//
+// What is persisted is deliberately the *derived* state, not just the data:
+// the graph's interned value strings, CSR adjacency spans and occurrence
+// counts are the expensive part of startup, and they are exactly what the
+// incremental rebuild path (bipartite.Rebuild) needs to keep pricing updates
+// by their delta after the restart. The lake's raw tables ride along so the
+// loader can re-wire the graph to a live lake.Attributes() slice, restoring
+// the pointer-identity change detection of bipartite.Changed.
+//
+// Format: a 4-byte magic, a uvarint format version, the body (lake section,
+// then an optional graph section), and a CRC-32 trailer over everything
+// after the magic. All integers are unsigned varints; strings are a uvarint
+// length followed by raw bytes. Saves are atomic (temp file + rename + sync)
+// so a crash mid-checkpoint never clobbers the previous snapshot.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/lake"
+	"domainnet/internal/table"
+)
+
+// FormatVersion is the current snapshot format. Loaders reject snapshots
+// with a newer version instead of mis-parsing them.
+const FormatVersion = 1
+
+// magic identifies a DomainNet snapshot file.
+var magic = [4]byte{'D', 'N', 'E', 'T'}
+
+// Snapshot is the result of Load: a rehydrated lake and, when the file
+// carried one, its graph wired to the lake's attribute slice. A nil Graph
+// means the saver had no incremental graph to persist; callers fall back to
+// a cold build.
+type Snapshot struct {
+	Lake  *lake.Lake
+	Graph *bipartite.Graph
+}
+
+// Save writes the lake and graph to path atomically: encode, write to a
+// temp file in the same directory, sync, rename, sync the directory. g may
+// be nil (lake-only snapshot); graphs without delta state (tripartite,
+// hand-assembled) are silently saved without their graph section, since
+// FromState could not reconstruct them anyway.
+func Save(path string, l *lake.Lake, g *bipartite.Graph) error {
+	return WriteFile(path, Marshal(l, g))
+}
+
+// Marshal encodes the lake and graph into complete snapshot-file bytes.
+// Split from WriteFile so a serving layer can encode under its write lock —
+// the lake must not mutate mid-encode — while paying the disk write and
+// fsyncs outside it (see cmd/domainnetd's checkpointer).
+func Marshal(l *lake.Lake, g *bipartite.Graph) []byte {
+	buf := appendBody(append([]byte(nil), magic[:]...), l, g)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[len(magic):]))
+}
+
+// WriteFile atomically and durably writes marshaled snapshot bytes to path.
+func WriteFile(path string, buf []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	// The rename is atomic but not durable until the directory entry is
+	// synced: without this, a power loss after "checkpoint succeeded" can
+	// resurface the previous snapshot. Skipped where directories cannot be
+	// opened for syncing (non-POSIX platforms).
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return fmt.Errorf("persist: syncing %s: %w", dir, serr)
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save, verifies its checksum and format
+// version, rehydrates the lake (restoring its version counter) and, when a
+// graph section is present, reconstructs the graph wired to the lake's
+// current Attributes() — so the first incremental rebuild after a warm
+// start detects unchanged attributes by pointer identity, exactly as if the
+// process had never restarted.
+func Load(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if len(buf) < len(magic)+4 || [4]byte(buf[:4]) != magic {
+		return nil, fmt.Errorf("persist: %s is not a DomainNet snapshot", path)
+	}
+	body := buf[4 : len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("persist: %s: checksum mismatch (corrupt or truncated snapshot)", path)
+	}
+	sn, err := decodeBody(body)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	return sn, nil
+}
+
+// --- encoding ---
+
+func appendBody(b []byte, l *lake.Lake, g *bipartite.Graph) []byte {
+	b = binary.AppendUvarint(b, FormatVersion)
+	b = appendString(b, l.Name)
+	b = binary.AppendUvarint(b, l.Version())
+
+	tables := l.Tables()
+	tableAttrs := l.TableAttributes()
+	b = binary.AppendUvarint(b, uint64(len(tables)))
+	for ti, t := range tables {
+		b = appendString(b, t.Name)
+		b = binary.AppendUvarint(b, uint64(len(t.Columns)))
+		for ci := range t.Columns {
+			col := &t.Columns[ci]
+			b = appendString(b, col.Name)
+			b = binary.AppendUvarint(b, uint64(len(col.Values)))
+			for _, v := range col.Values {
+				b = appendString(b, v)
+			}
+		}
+		// The table's normalized attribute slice rides along so a warm
+		// start skips re-normalizing every cell — on large lakes that scan
+		// costs as much as the graph build it is trying to avoid.
+		attrs := tableAttrs[ti]
+		b = binary.AppendUvarint(b, uint64(len(attrs)))
+		for ai := range attrs {
+			a := &attrs[ai]
+			b = appendString(b, a.ID)
+			b = appendString(b, a.Column)
+			b = binary.AppendUvarint(b, uint64(len(a.Values)))
+			for _, v := range a.Values {
+				b = appendString(b, v)
+			}
+			for j := range a.Values {
+				f := 1 // a nil Freqs counts every value once
+				if a.Freqs != nil {
+					f = a.Freqs[j]
+				}
+				b = binary.AppendUvarint(b, uint64(f))
+			}
+		}
+	}
+
+	var st *bipartite.State
+	if g != nil {
+		st, _ = g.Export()
+	}
+	if st == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	if st.KeepSingletons {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.Values)))
+	for _, v := range st.Values {
+		b = appendString(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.AttrIDs)))
+	for _, id := range st.AttrIDs {
+		b = appendString(b, id)
+	}
+	// Offsets are a monotone prefix sum; store first-order deltas, which are
+	// node degrees and varint-compress far better than absolute offsets.
+	b = binary.AppendUvarint(b, uint64(len(st.Offsets)))
+	prev := int64(0)
+	for _, o := range st.Offsets {
+		b = binary.AppendUvarint(b, uint64(o-prev))
+		prev = o
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.Adj)))
+	for _, v := range st.Adj {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.Occ)))
+	for v, c := range st.Occ {
+		b = appendString(b, v)
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// --- decoding ---
+
+// reader is a cursor over the snapshot body with sticky error handling, so
+// the decode path reads linearly and checks one error at the end of each
+// section. Data strings (cells, normalized values, occurrence keys) are
+// interned through one map: lake values repeat heavily across tables and
+// appear again in the graph section, so interning cuts both decode
+// allocations and resident memory.
+type reader struct {
+	buf    []byte
+	err    error
+	intern map[string]string
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// length reads a uvarint used as a count and bounds it by the remaining
+// bytes (every counted element occupies at least one byte), so a corrupt
+// count cannot trigger a huge allocation before the decode fails.
+func (r *reader) length(what string) int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.buf)) {
+		r.fail("%s count %d exceeds remaining %d bytes", what, v, len(r.buf))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) string() string {
+	n := r.length("string")
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+// dataString is string for cell-level data: the decoded value is interned.
+func (r *reader) dataString() string {
+	n := r.length("string")
+	if r.err != nil {
+		return ""
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	if s, ok := r.intern[string(b)]; ok { // keyed conversion: no allocation
+		return s
+	}
+	s := string(b)
+	r.intern[s] = s
+	return s
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func decodeBody(body []byte) (*Snapshot, error) {
+	r := &reader{buf: body, intern: make(map[string]string, 1024)}
+	if v := r.uvarint(); r.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("snapshot format %d, this build reads %d", v, FormatVersion)
+	}
+	name := r.string()
+	version := r.uvarint()
+
+	nTables := r.length("table")
+	tables := make([]*table.Table, 0, nTables)
+	tableAttrs := make([][]lake.Attribute, 0, nTables)
+	for ti := 0; ti < nTables && r.err == nil; ti++ {
+		t := table.New(r.string())
+		nCols := r.length("column")
+		for ci := 0; ci < nCols && r.err == nil; ci++ {
+			colName := r.string()
+			nVals := r.length("cell")
+			vals := make([]string, 0, nVals)
+			for vi := 0; vi < nVals && r.err == nil; vi++ {
+				vals = append(vals, r.dataString())
+			}
+			t.AddColumn(colName, vals...)
+		}
+		nAttrs := r.length("attribute")
+		attrs := make([]lake.Attribute, 0, nAttrs)
+		for ai := 0; ai < nAttrs && r.err == nil; ai++ {
+			a := lake.Attribute{ID: r.string(), Table: t.Name, Column: r.string()}
+			nVals := r.length("attribute value")
+			a.Values = make([]string, 0, nVals)
+			for vi := 0; vi < nVals && r.err == nil; vi++ {
+				a.Values = append(a.Values, r.dataString())
+			}
+			a.Freqs = make([]int, 0, nVals)
+			for vi := 0; vi < nVals && r.err == nil; vi++ {
+				a.Freqs = append(a.Freqs, int(r.uvarint()))
+			}
+			attrs = append(attrs, a)
+		}
+		tables = append(tables, t)
+		tableAttrs = append(tableAttrs, attrs)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	l, err := lake.RehydrateWithAttributes(name, version, tables, tableAttrs)
+	if err != nil {
+		return nil, err
+	}
+
+	if r.byte() == 0 {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return &Snapshot{Lake: l}, nil
+	}
+	st := &bipartite.State{KeepSingletons: r.byte() != 0}
+	nVals := r.length("value")
+	st.Values = make([]string, 0, nVals)
+	for i := 0; i < nVals && r.err == nil; i++ {
+		st.Values = append(st.Values, r.dataString())
+	}
+	nAttrs := r.length("attribute")
+	st.AttrIDs = make([]string, 0, nAttrs)
+	for i := 0; i < nAttrs && r.err == nil; i++ {
+		st.AttrIDs = append(st.AttrIDs, r.string())
+	}
+	nOff := r.length("offset")
+	st.Offsets = make([]int64, 0, nOff)
+	off := int64(0)
+	for i := 0; i < nOff && r.err == nil; i++ {
+		off += int64(r.uvarint())
+		st.Offsets = append(st.Offsets, off)
+	}
+	nAdj := r.length("adjacency")
+	st.Adj = make([]int32, 0, nAdj)
+	for i := 0; i < nAdj && r.err == nil; i++ {
+		st.Adj = append(st.Adj, int32(r.uvarint()))
+	}
+	nOcc := r.length("occurrence")
+	st.Occ = make(map[string]int64, nOcc)
+	for i := 0; i < nOcc && r.err == nil; i++ {
+		v := r.dataString()
+		st.Occ[v] = int64(r.uvarint())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	g, err := bipartite.FromState(st, l.Attributes())
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Lake: l, Graph: g}, nil
+}

@@ -3,7 +3,10 @@
 // betweenness centrality, ascending for the local clustering coefficient.
 package rank
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Scored pairs a data value with its centrality score.
 type Scored struct {
@@ -28,17 +31,29 @@ const (
 // entries of scores are consulted, so a full-graph score slice (including
 // attribute nodes) can be passed directly. Ties break lexicographically by
 // value so rankings are deterministic.
+//
+// NaN scores sort last under either order, among themselves by value. The
+// built-in measures never emit NaN (their divisions are guarded), but an
+// externally registered engine.Scorer can, and a comparator that answers
+// false for every NaN comparison violates sort.Slice's strict-weak-ordering
+// contract, making the whole ranking nondeterministic — not just the NaN
+// entries.
 func Values(values []string, scores []float64, order Order) []Scored {
 	out := make([]Scored, len(values))
 	for i, v := range values {
 		out[i] = Scored{Value: v, Score: scores[i]}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			if order == Descending {
-				return out[i].Score > out[j].Score
+		si, sj := out[i].Score, out[j].Score
+		if ni, nj := math.IsNaN(si), math.IsNaN(sj); ni || nj {
+			if ni != nj {
+				return nj // the non-NaN side ranks first
 			}
-			return out[i].Score < out[j].Score
+		} else if si != sj {
+			if order == Descending {
+				return si > sj
+			}
+			return si < sj
 		}
 		return out[i].Value < out[j].Value
 	})
@@ -46,8 +61,12 @@ func Values(values []string, scores []float64, order Order) []Scored {
 }
 
 // TopK returns the first k entries of a ranking (fewer when the ranking is
-// shorter).
+// shorter, empty for k <= 0 — negative k is a caller bug but must not panic,
+// since the library is reached by layers with their own k parsing).
 func TopK(ranking []Scored, k int) []Scored {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(ranking) {
 		k = len(ranking)
 	}

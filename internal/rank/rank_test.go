@@ -1,7 +1,10 @@
 package rank
 
 import (
+	"math"
+	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -49,6 +52,102 @@ func TestTopK(t *testing.T) {
 	if got := TopK(r, 0); len(got) != 0 {
 		t.Errorf("TopK(0) = %v, want empty", got)
 	}
+}
+
+func TestTopKNegativeK(t *testing.T) {
+	// Regression: TopK(-1) used to slice ranking[:-1] and panic. The HTTP
+	// layer rejects negative k, but library callers reach this directly.
+	r := []Scored{{"A", 3}, {"B", 2}}
+	if got := TopK(r, -1); len(got) != 0 {
+		t.Errorf("TopK(-1) = %v, want empty", got)
+	}
+	if got := TopK(nil, -5); len(got) != 0 {
+		t.Errorf("TopK(nil, -5) = %v, want empty", got)
+	}
+}
+
+func TestValuesNaNOrderedLast(t *testing.T) {
+	nan := math.NaN()
+	for _, order := range []Order{Descending, Ascending} {
+		got := Values(
+			[]string{"N2", "HI", "N1", "LO"},
+			[]float64{nan, 2, nan, 1},
+			order,
+		)
+		if len(got) != 4 {
+			t.Fatalf("len = %d", len(got))
+		}
+		// NaN entries come last, among themselves ordered by value.
+		if !math.IsNaN(got[2].Score) || !math.IsNaN(got[3].Score) {
+			t.Errorf("order %v: NaN not last: %v", order, got)
+		}
+		if got[2].Value != "N1" || got[3].Value != "N2" {
+			t.Errorf("order %v: NaN tail not value-ordered: %v", order, got)
+		}
+	}
+}
+
+func TestValuesNaNDeterministic(t *testing.T) {
+	// A comparator that breaks strict weak ordering makes sort.Slice output
+	// depend on input permutation. Shuffle heavily-NaN input and require one
+	// canonical ranking.
+	rng := rand.New(rand.NewSource(1))
+	const n = 64
+	values := make([]string, n)
+	scores := make([]float64, n)
+	for i := range values {
+		values[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if i%3 == 0 {
+			scores[i] = math.NaN()
+		} else {
+			scores[i] = float64(i % 5)
+		}
+	}
+	ref := Values(values, scores, Descending)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		pv := make([]string, n)
+		ps := make([]float64, n)
+		for i, j := range idx {
+			pv[i] = values[j]
+			ps[i] = scores[j]
+		}
+		got := Values(pv, ps, Descending)
+		for i := range got {
+			same := got[i].Value == ref[i].Value &&
+				(got[i].Score == ref[i].Score ||
+					(math.IsNaN(got[i].Score) && math.IsNaN(ref[i].Score)))
+			if !same {
+				t.Fatalf("trial %d: rank %d = %v, want %v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+	// The comparator itself must be a strict weak order even on NaN input.
+	if !sort.SliceIsSorted(ref, func(i, j int) bool {
+		return less(ref, i, j, Descending)
+	}) {
+		t.Error("reference ranking not sorted under its own comparator")
+	}
+}
+
+// less re-states the Values comparator for the strict-weak-ordering check.
+func less(s []Scored, i, j int, order Order) bool {
+	si, sj := s[i].Score, s[j].Score
+	if ni, nj := math.IsNaN(si), math.IsNaN(sj); ni || nj {
+		if ni != nj {
+			return nj
+		}
+	} else if si != sj {
+		if order == Descending {
+			return si > sj
+		}
+		return si < sj
+	}
+	return s[i].Value < s[j].Value
 }
 
 func TestRankingIsPermutationProperty(t *testing.T) {

@@ -19,9 +19,15 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -32,19 +38,53 @@ import (
 	"domainnet/internal/table"
 )
 
-// maxUpload bounds a single CSV table upload.
+// maxUpload bounds a single upload request (one CSV table, or a whole
+// multipart batch).
 const maxUpload = 64 << 20
 
+// Sentinel errors of the batch mutation path, so HTTP handlers can map
+// library errors to status codes without string matching.
+var (
+	// ErrConflict marks a table name already present in the lake (or twice
+	// in one batch).
+	ErrConflict = errors.New("duplicate table")
+	// ErrNotFound marks a removal of a table the lake does not hold.
+	ErrNotFound = errors.New("no such table")
+)
+
 // Server serves homograph detection over a mutable lake. Create one with
-// New; it implements http.Handler.
+// New or NewWithOptions; it implements http.Handler.
 type Server struct {
-	cfg domainnet.Config // base detector config; Measure is the default
+	cfg          domainnet.Config // base detector config; Measure is the default
+	afterPublish func(version uint64)
 
 	writeMu sync.Mutex // serializes lake mutations and snapshot swaps
 	lake    *lake.Lake // guarded by writeMu
+	// pending counts writers queued on writeMu. A writer that decrements it
+	// to a non-zero value skips its publish — the last writer of the burst
+	// publishes the combined state — so N concurrent single-table writes
+	// coalesce into far fewer than N rebuilds.
+	pending   atomic.Int64
+	publishes atomic.Int64 // snapshot swaps since construction
 
 	snap atomic.Pointer[snapshot]
 	mux  *http.ServeMux
+}
+
+// Options extend New for warm starts and operational hooks.
+type Options struct {
+	// Graph, when non-nil, publishes the initial snapshot from an
+	// already-built graph (a persisted snapshot loaded at startup) instead
+	// of running the full build. The graph must reflect the lake's current
+	// contents — persist.Load guarantees this — and must have been built
+	// with the same KeepSingletons setting as the Config; on a mismatch the
+	// graph is ignored and the server cold-builds.
+	Graph *bipartite.Graph
+	// AfterPublish, when non-nil, runs after every snapshot swap (including
+	// the initial publish) with the published lake version. It is called on
+	// the write path with the write lock held: keep it non-blocking — e.g.
+	// a non-blocking send to a checkpointing goroutine.
+	AfterPublish func(version uint64)
 }
 
 // snapshot is one immutable published version of the served state. The
@@ -81,15 +121,27 @@ func (sn *snapshot) detector(m domainnet.Measure, base domainnet.Config) *domain
 // The lake must not be used by other goroutines afterwards — the server
 // owns it, and applies the Config's Workers bound to its normalization too.
 func New(l *lake.Lake, cfg domainnet.Config) *Server {
+	return NewWithOptions(l, cfg, Options{})
+}
+
+// NewWithOptions is New with a warm-start graph and operational hooks; see
+// Options. With Options.Graph set (and compatible), the initial snapshot is
+// published without any graph construction.
+func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	l.Workers = cfg.Workers
-	s := &Server{cfg: cfg, lake: l}
-	s.publish()
+	s := &Server{cfg: cfg, lake: l, afterPublish: opts.AfterPublish}
+	if g := opts.Graph; g != nil && g.KeepsSingletons() == cfg.KeepSingletons {
+		s.publishGraph(g)
+	} else {
+		s.publish()
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /score", s.handleScore)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /scorers", s.handleScorers)
+	mux.HandleFunc("POST /tables", s.handleBatchAdd)
 	mux.HandleFunc("POST /tables/{name}", s.handleAddTable)
 	mux.HandleFunc("DELETE /tables/{name}", s.handleRemoveTable)
 	s.mux = mux
@@ -100,6 +152,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Version reports the currently served snapshot version.
 func (s *Server) Version() uint64 { return s.snap.Load().version }
+
+// Publishes reports how many snapshots the server has published, including
+// the initial one. Batch-ingest tests assert that N-table batches cost one
+// publish, not N.
+func (s *Server) Publishes() int64 { return s.publishes.Load() }
+
+// Checkpoint runs fn on the lake and the currently published graph with the
+// write lock held, giving it a mutation-free view for durable snapshotting
+// (persist.Save). Readers are unaffected; writers queue behind fn, so fn
+// should be bounded (a local file write, not a network upload).
+func (s *Server) Checkpoint(fn func(l *lake.Lake, g *bipartite.Graph) error) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	// A coalescing burst may have mutated the lake with its publish deferred
+	// to a still-queued writer; if the checkpointer wins the lock race in
+	// that window, the snapshot graph lags the lake, and persisting the torn
+	// pair would write a snapshot whose graph no longer matches its tables
+	// (unloadable). Publish first so fn always sees a consistent pair.
+	if s.snap.Load().version != s.lake.Version() {
+		s.publish()
+	}
+	return fn(s.lake, s.snap.Load().graph)
+}
+
+// withWrite runs one lake mutation under the write lock, then publishes —
+// unless more writers are already queued, in which case the publish is left
+// to the burst's last writer (write coalescing). It returns the lake version
+// after the mutation; the published snapshot reaches at least that version
+// once the burst drains.
+func (s *Server) withWrite(fn func() error) (uint64, error) {
+	s.pending.Add(1)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	err := fn()
+	if s.pending.Add(-1) == 0 && s.snap.Load().version != s.lake.Version() {
+		s.publish()
+	}
+	return s.lake.Version(), err
+}
 
 // publish rebuilds derived state from the lake and swaps in a new snapshot.
 // Callers must hold writeMu (or be the constructor, before the server
@@ -116,17 +207,25 @@ func (s *Server) publish() {
 	} else {
 		g = bipartite.Rebuild(prev.graph, attrs, bipartite.Changed(prev.graph, attrs), bopts)
 	}
+	s.publishGraph(g)
+}
+
+// publishGraph swaps in a new snapshot holding g, which must reflect the
+// lake's current contents. Same locking contract as publish.
+func (s *Server) publishGraph(g *bipartite.Graph) {
+	attrs := s.lake.Attributes()
+	prev := s.snap.Load()
 	// Assemble the stats without lake.Stats(): that scan re-hashes every
 	// cell lake-wide, which would erode the delta-priced write path. The
 	// distinct-value count is the graph's retained occurrence-map size, and
-	// the per-attribute cell counts are already materialized.
+	// the per-attribute cell counts are already materialized in Freqs.
 	stats := lake.Stats{
 		Tables:     s.lake.NumTables(),
 		Attributes: len(attrs),
 		Values:     g.SourceValueCount(),
 	}
 	for i := range attrs {
-		stats.Cells += len(attrs[i].Values)
+		stats.Cells += attrs[i].Cells()
 	}
 	next := &snapshot{
 		version: s.lake.Version(),
@@ -142,7 +241,11 @@ func (s *Server) publish() {
 		}
 		prev.mu.Unlock()
 	}
+	s.publishes.Add(1)
 	s.snap.Store(next)
+	if s.afterPublish != nil {
+		s.afterPublish(next.version)
+	}
 }
 
 // measure resolves the optional ?measure= query parameter against the
@@ -233,6 +336,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"attr_nodes":  sn.graph.NumAttrs(),
 			"edges":       sn.graph.NumEdges(),
 		},
+		"server": map[string]int64{
+			"publishes": s.Publishes(),
+		},
 	})
 }
 
@@ -244,6 +350,49 @@ func (s *Server) handleScorers(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Apply performs one batch mutation — remove the named tables, then add the
+// given ones — as a single burst with one publish, instead of the N publishes
+// (N incremental rebuilds, N ranking invalidations) that N single-table
+// calls would cost. It is all-or-nothing: every removal target must exist
+// and no added name may collide (with the lake or within the batch), checked
+// before any mutation, so a failed Apply leaves the lake untouched. Returns
+// the lake version after the batch.
+func (s *Server) Apply(add []*table.Table, remove []string) (uint64, error) {
+	for _, t := range add {
+		if err := t.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	return s.withWrite(func() error {
+		present := make(map[string]bool, s.lake.NumTables())
+		for _, t := range s.lake.Tables() {
+			present[t.Name] = true
+		}
+		for _, name := range remove {
+			if !present[name] {
+				return fmt.Errorf("%w %q", ErrNotFound, name)
+			}
+			present[name] = false
+		}
+		for _, t := range add {
+			if present[t.Name] {
+				return fmt.Errorf("%w %q", ErrConflict, t.Name)
+			}
+			present[t.Name] = true
+		}
+		// All checks passed; none of the mutations below can fail.
+		for _, name := range remove {
+			s.lake.RemoveTable(name)
+		}
+		for _, t := range add {
+			if err := s.lake.Add(t); err != nil {
+				return err // unreachable: names pre-checked, tables validated
+			}
+		}
+		return nil
+	})
+}
+
 func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxUpload))
@@ -251,19 +400,11 @@ func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := t.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	version, err := s.Apply([]*table.Table{t}, nil)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
 		return
 	}
-	s.writeMu.Lock()
-	if err := s.lake.Add(t); err != nil {
-		s.writeMu.Unlock()
-		writeError(w, http.StatusConflict, err.Error())
-		return
-	}
-	s.publish()
-	version := s.Version()
-	s.writeMu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"version": version,
 		"table":   name,
@@ -272,21 +413,86 @@ func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	s.writeMu.Lock()
-	if !s.lake.RemoveTable(name) {
-		s.writeMu.Unlock()
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no table %q", name))
+// handleBatchAdd ingests many tables in one request — multipart/form-data,
+// one CSV file per part, table-named by the part's filename (without the
+// .csv extension) or form field name — and publishes exactly once.
+func (s *Server) handleBatchAdd(w http.ResponseWriter, r *http.Request) {
+	mediaType, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || !strings.HasPrefix(mediaType, "multipart/") {
+		writeError(w, http.StatusBadRequest,
+			"batch ingest expects multipart/form-data with one CSV file per part (use POST /tables/{name} for a single raw CSV)")
 		return
 	}
-	s.publish()
-	version := s.Version()
-	s.writeMu.Unlock()
+	r.Body = http.MaxBytesReader(w, r.Body, maxUpload)
+	mr := multipart.NewReader(r.Body, params["boundary"])
+	var tables []*table.Table
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		name := strings.TrimSuffix(filepath.Base(part.FileName()), filepath.Ext(part.FileName()))
+		if name == "" || name == "." {
+			name = part.FormName()
+		}
+		t, err := table.ReadCSV(name, part)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		writeError(w, http.StatusBadRequest, "batch contains no tables")
+		return
+	}
+	version, err := s.Apply(tables, nil)
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	added := make([]map[string]any, len(tables))
+	for i, t := range tables {
+		added[i] = map[string]any{
+			"table":   t.Name,
+			"columns": t.NumColumns(),
+			"rows":    t.NumRows(),
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"version": version,
+		"count":   len(tables),
+		"tables":  added,
+	})
+}
+
+func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	version, err := s.Apply(nil, []string{name})
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": version,
 		"table":   name,
 	})
+}
+
+// errorStatus maps mutation errors to HTTP status codes.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,17 +1,26 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
+	"domainnet/internal/bipartite"
 	"domainnet/internal/datagen"
 	"domainnet/internal/domainnet"
+	"domainnet/internal/lake"
+	"domainnet/internal/persist"
+	"domainnet/internal/table"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -88,11 +97,12 @@ func TestReadEndpoints(t *testing.T) {
 
 	// The served stats are assembled without a lake-wide rescan; they must
 	// still equal lake.Stats() of Figure 1 (tables=4 attrs=12 values=37
-	// cells=43).
+	// cells=45 — 45 non-empty cells, not the 43 distinct per-column values:
+	// T2 repeats Panda and "2").
 	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
 	lk := stats["lake"].(map[string]any)
 	for field, want := range map[string]float64{
-		"tables": 4, "attributes": 12, "values": 37, "cells": 43,
+		"tables": 4, "attributes": 12, "values": 37, "cells": 45,
 	} {
 		if got := lk[field].(float64); got != want {
 			t.Errorf("stats.lake.%s = %v, want %v", field, got, want)
@@ -157,6 +167,265 @@ func TestWriteEndpointsChangeRanking(t *testing.T) {
 		t.Errorf("empty CSV POST = %d, want 400", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// multipartBatch assembles a multipart/form-data body of CSV file parts.
+func multipartBatch(t *testing.T, csvs map[string]string) (string, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for name, csv := range csvs {
+		fw, err := mw.CreateFormFile(name, name+".csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write([]byte(csv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mw.FormDataContentType(), &buf
+}
+
+func TestBatchIngestPublishesOnce(t *testing.T) {
+	s := New(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        domainnet.BetweennessExact,
+		KeepSingletons: true,
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	before := s.Publishes()
+	contentType, body := multipartBatch(t, map[string]string{
+		"B1": "animal,city\nJaguar,Memphis\nOcelot,Lima\n",
+		"B2": "make,country\nJaguar,UK\nSaab,Sweden\n",
+		"B3": "team,sport\nPuma,Soccer\nJaguar,Football\n",
+	})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/tables", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch POST = %d (%s)", resp.StatusCode, raw)
+	}
+	out := decodeJSON(t, resp.Body)
+	if out["count"].(float64) != 3 {
+		t.Errorf("count = %v, want 3", out["count"])
+	}
+	// The acceptance criterion: N tables, exactly ONE publish.
+	if got := s.Publishes() - before; got != 1 {
+		t.Errorf("batch of 3 tables cost %d publishes, want exactly 1", got)
+	}
+	if out["version"].(float64) != 7 { // 4 initial adds + 3 batch adds
+		t.Errorf("version = %v, want 7", out["version"])
+	}
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["lake"].(map[string]any)["tables"].(float64); got != 7 {
+		t.Errorf("tables after batch = %v, want 7", got)
+	}
+
+	// All-or-nothing: a batch naming an existing table mutates nothing.
+	contentType, body = multipartBatch(t, map[string]string{
+		"OK": "a,b\nx,y\nz,w\n",
+		"T1": "a,b\nx,y\nz,w\n",
+	})
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/tables", body)
+	req.Header.Set("Content-Type", contentType)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("conflicting batch = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	score := getJSON(t, ts.URL+"/score?value=x", http.StatusOK)
+	if score["found"] != false {
+		t.Error("failed batch leaked table OK into the lake")
+	}
+
+	// Non-multipart bodies are rejected with guidance.
+	resp = do(t, http.MethodPost, ts.URL+"/tables", strings.NewReader("a,b\n1,2\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("raw-CSV batch POST = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestWarmStartServesWithoutFullBuild is the tentpole acceptance test: a
+// server constructed from a persisted snapshot must answer /topk, /score and
+// /stats identically to a cold-built one — without ever invoking
+// bipartite.FromAttributes.
+func TestWarmStartServesWithoutFullBuild(t *testing.T) {
+	cfg := domainnet.Config{Measure: domainnet.BetweennessExact, KeepSingletons: true}
+
+	cold := httptest.NewServer(New(datagen.Figure1Lake(), cfg))
+	t.Cleanup(cold.Close)
+
+	// Persist the lake+graph, as domainnetd's checkpoint does.
+	src := datagen.Figure1Lake()
+	path := filepath.Join(t.TempDir(), "lake.snapshot")
+	if err := persist.Save(path, src, bipartite.FromLake(src, bipartite.Options{KeepSingletons: true})); err != nil {
+		t.Fatal(err)
+	}
+
+	sn, err := persist.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := bipartite.FullBuilds()
+	warm := httptest.NewServer(NewWithOptions(sn.Lake, cfg, Options{Graph: sn.Graph}))
+	t.Cleanup(warm.Close)
+
+	for _, path := range []string{"/topk?k=10", "/topk?k=5&measure=lcc", "/score?value=jaguar", "/stats"} {
+		want := getJSON(t, cold.URL+path, http.StatusOK)
+		got := getJSON(t, warm.URL+path, http.StatusOK)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("GET %s:\nwarm = %v\ncold = %v", path, got, want)
+		}
+	}
+	if d := bipartite.FullBuilds() - builds; d != 0 {
+		t.Errorf("warm start ran %d full graph builds, want 0", d)
+	}
+
+	// Writes after a warm start stay incremental (no full build either).
+	resp := do(t, http.MethodPost, warm.URL+"/tables/W1",
+		strings.NewReader("animal,city\nJaguar,Memphis\nOcelot,Lima\n"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST after warm start = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if d := bipartite.FullBuilds() - builds; d != 0 {
+		t.Errorf("post-warm-start write ran %d full builds, want 0 (incremental)", d)
+	}
+
+	// A graph built with mismatched KeepSingletons is refused: the server
+	// cold-builds rather than serving wrong node sets.
+	mismatched := domainnet.Config{Measure: domainnet.BetweennessExact}
+	sn2, err := persist.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithOptions(sn2.Lake, mismatched, Options{Graph: sn2.Graph})
+	if s.snap.Load().graph == sn2.Graph {
+		t.Error("KeepSingletons-mismatched warm-start graph was not rejected")
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	s := New(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        domainnet.DegreeBaseline,
+		KeepSingletons: true,
+	})
+	base := s.Publishes()
+
+	// Park a checkpoint on the write lock so both writers are queued before
+	// either runs; the first to drain must defer its publish to the last.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		s.Checkpoint(func(*lake.Lake, *bipartite.Graph) error {
+			close(entered)
+			<-release
+			return nil
+		})
+	}()
+	<-entered
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tb := table.New(fmt.Sprintf("co%d", i)).
+				AddColumn("animal", "Jaguar", "Puma").
+				AddColumn("city", "Memphis", "Lima")
+			if _, err := s.Apply([]*table.Table{tb}, nil); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	for s.pending.Load() != 2 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-ckptDone
+
+	if got := s.Publishes() - base; got != 1 {
+		t.Errorf("2 coalesced writes cost %d publishes, want 1", got)
+	}
+	sn := s.snap.Load()
+	if sn.stats.Tables != 6 || sn.version != 6 {
+		t.Errorf("published state = %d tables v%d, want 6 tables v6", sn.stats.Tables, sn.version)
+	}
+}
+
+// TestCheckpointDuringDeferredPublish is the torn-checkpoint regression: a
+// coalescing burst can leave the lake ahead of the published snapshot, and a
+// checkpointer winning the lock race in that window used to persist a
+// lake/graph pair at different versions — a snapshot persist.Load rejects,
+// overwriting the last good one. Checkpoint must publish first.
+func TestCheckpointDuringDeferredPublish(t *testing.T) {
+	s := New(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        domainnet.DegreeBaseline,
+		KeepSingletons: true,
+	})
+	// Pose as a queued writer so Apply defers its publish.
+	s.pending.Add(1)
+	tb := table.New("torn").AddColumn("animal", "Jaguar", "Puma")
+	if _, err := s.Apply([]*table.Table{tb}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.snap.Load().version == s.lake.Version() {
+		t.Fatal("setup: publish was not deferred")
+	}
+
+	path := filepath.Join(t.TempDir(), "lake.snapshot")
+	err := s.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
+		if s.snap.Load().version != l.Version() {
+			t.Error("Checkpoint handed out a lake/graph pair at different versions")
+		}
+		return persist.Save(path, l, g)
+	})
+	s.pending.Add(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := persist.Load(path)
+	if err != nil {
+		t.Fatalf("mid-burst checkpoint is unloadable: %v", err)
+	}
+	if sn.Graph == nil || sn.Lake.Version() != 5 {
+		t.Errorf("loaded snapshot = graph %v, version %d; want graph at version 5",
+			sn.Graph != nil, sn.Lake.Version())
+	}
+}
+
+func TestAfterPublishHook(t *testing.T) {
+	var versions []uint64
+	l := datagen.Figure1Lake()
+	s := NewWithOptions(l, domainnet.Config{
+		Measure:        domainnet.DegreeBaseline,
+		KeepSingletons: true,
+	}, Options{AfterPublish: func(v uint64) { versions = append(versions, v) }})
+	if _, err := s.Apply(nil, []string{"T4"}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{4, 5}; !reflect.DeepEqual(versions, want) {
+		t.Errorf("AfterPublish saw versions %v, want %v", versions, want)
+	}
 }
 
 // TestConcurrentReadersDuringWrites is the snapshot-isolation acceptance
