@@ -11,8 +11,10 @@ package bench
 //	DOMAINNET_BENCH_JSON=1 go test -run TestEmitBenchJSON .
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,8 +28,10 @@ import (
 	"domainnet/internal/engine"
 	"domainnet/internal/lake"
 	"domainnet/internal/persist"
+	"domainnet/internal/repl"
 	"domainnet/internal/serve"
 	"domainnet/internal/table"
+	"domainnet/internal/wal"
 )
 
 // benchStage is one timed pipeline stage.
@@ -153,6 +157,120 @@ func TestEmitBenchJSON(t *testing.T) {
 				sn, err := persist.Load(path)
 				if err != nil || sn.Graph == nil {
 					b.Fatalf("snapshot load: %v", err)
+				}
+			}
+		}},
+		{"wal_replay_sb", func(b *testing.B) {
+			// Crash recovery's WAL tail: re-apply 32 logged mutation bursts
+			// (decode, version-chain check, lake mutation) on top of a
+			// warm-rehydrated SB lake, then one incremental rebuild to a
+			// servable graph. Compare against cold_start_sb — the recovery
+			// this log replaces when no snapshot exists — and warm_start_sb,
+			// the snapshot-only recovery that loses the tail.
+			const bursts = 32
+			base := datagen.NewSB(1).Lake
+			baseTables := append([]*table.Table(nil), base.Tables()...)
+			baseAttrs := append([][]lake.Attribute(nil), base.TableAttributes()...)
+			baseGraph := bipartite.FromLake(base, bipartite.Options{})
+			dir, err := os.MkdirTemp("", "domainnet-bench-wal")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			wlog, err := wal.Open(dir, wal.Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer wlog.Close()
+			scratch, err := lake.RehydrateWithAttributes(base.Name, base.Version(), baseTables, baseAttrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < bursts; i++ {
+				rec := &wal.Record{PrevVersion: scratch.Version()}
+				if i > 0 {
+					rec.Remove = []string{fmt.Sprintf("churn%d", i-1)}
+					scratch.RemoveTable(rec.Remove[0])
+				}
+				t := table.New(fmt.Sprintf("churn%d", i)).
+					AddColumn("animal", "jaguar", fmt.Sprintf("beast%d", i))
+				rec.Add = []*table.Table{t}
+				scratch.MustAdd(t)
+				rec.Version = scratch.Version()
+				if _, err := wlog.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, err := lake.RehydrateWithAttributes(base.Name, base.Version(), baseTables, baseAttrs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := wlog.Replay(l.Version(), func(rec *wal.Record) error {
+					for _, name := range rec.Remove {
+						l.RemoveTable(name)
+					}
+					for _, t := range rec.Add {
+						l.MustAdd(t)
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				attrs := l.Attributes()
+				if g := bipartite.Rebuild(baseGraph, attrs, bipartite.Changed(baseGraph, attrs),
+					bipartite.Options{}); g.NumEdges() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		}},
+		{"follower_catchup_sb", func(b *testing.B) {
+			// Replication round trip: a fresh follower bootstraps from the
+			// leader's snapshot stream, then tails 8 mutation bursts through
+			// the change feed — each applied via the same incremental
+			// rebuild path the leader's own writes take. The leader serves
+			// the SB lake; mutations are add/remove pairs, so state stays
+			// baseline-sized across iterations.
+			dir, err := os.MkdirTemp("", "domainnet-bench-repl")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			wlog, err := wal.Open(dir, wal.Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer wlog.Close()
+			ld := repl.NewLeader(wlog)
+			leader := serve.NewWithOptions(datagen.NewSB(1).Lake,
+				domainnet.Config{Measure: domainnet.DegreeBaseline},
+				serve.Options{OnCommit: ld.OnCommit})
+			ld.Attach(leader)
+			ts := httptest.NewServer(leader)
+			defer ts.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := &repl.Follower{Leader: ts.URL,
+					Config: domainnet.Config{Measure: domainnet.DegreeBaseline}}
+				if err := f.Bootstrap(ctx); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 4; j++ {
+					t := table.New(fmt.Sprintf("churn%d", j)).
+						AddColumn("animal", "jaguar", fmt.Sprintf("beast%d", j))
+					if _, err := leader.Apply([]*table.Table{t}, nil); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := leader.Apply(nil, []string{t.Name}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for f.Version() != leader.Version() {
+					if _, err := f.Poll(ctx); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		}},

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	domainnetd [-addr :8080] [-dir path/to/lake] [-name lake]
-//	           [-snapshot lake.snapshot] [-checkpoint-every 0]
+//	           [-snapshot lake.snapshot] [-checkpoint-every 0] [-wal path/to/wal]
+//	           [-follow http://leader:8080]
 //	           [-measure bc|bc-exact|bc-eps|lcc|lcc-attr|degree|harmonic]
 //	           [-samples 0] [-seed 1] [-workers 0] [-keep-singletons]
 //
@@ -18,17 +19,29 @@
 //	POST   /tables                 batch-add tables (multipart, CSV per part)
 //	POST   /tables/{name}          add a table (request body: CSV)
 //	DELETE /tables/{name}          remove a table
+//	GET    /repl/changes?from=V    replication change feed (leader, with -wal)
+//	GET    /repl/snapshot          replication state transfer (leader, with -wal)
 //
 // Reads never block on writes: each response is served from the snapshot
 // current when it arrived, stamped with the lake version it reflects.
 //
 // Durability: with -snapshot set, the daemon warm-starts from the snapshot
-// file when it exists — the persisted graph is loaded instead of rebuilt, so
-// a restart of a large lake skips the full construction — and checkpoints the
-// lake+graph back to the file on graceful shutdown (SIGINT/SIGTERM) and,
-// with -checkpoint-every K, after every K-th publish. Checkpoints are
-// written atomically (temp file + rename), so a crash mid-write never
-// corrupts the previous snapshot.
+// file when it exists and checkpoints back to it on graceful shutdown
+// (SIGINT/SIGTERM) and, with -checkpoint-every K, after every K-th publish.
+// With -wal set, every acknowledged mutation burst is appended (and fsynced)
+// to a segmented write-ahead log *before* it is applied, so recovery —
+// snapshot-load followed by WAL replay — loses nothing even on kill -9 or
+// power failure; each successful checkpoint truncates the segments it made
+// obsolete. Without -wal, a crash loses the mutations since the last
+// checkpoint; without either flag, the lake is memory-only.
+//
+// Replication: -wal also enables the leader endpoints under /repl/.
+// A replica runs `domainnetd -follow http://leader:8080`: it bootstraps from
+// the leader's snapshot stream, tails the change feed (long-poll), applies
+// each burst through the same incremental rebuild path the leader used, and
+// serves reads at the leader's versions; its own mutation endpoints answer
+// 403. A replica that falls behind the leader's truncated log re-bootstraps
+// from the snapshot stream automatically.
 package main
 
 import (
@@ -37,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,66 +63,262 @@ import (
 	"domainnet/internal/domainnet"
 	"domainnet/internal/lake"
 	"domainnet/internal/persist"
+	"domainnet/internal/repl"
 	"domainnet/internal/serve"
+	"domainnet/internal/wal"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("dir", "", "directory of CSV tables to pre-load (ignored when -snapshot exists; empty starts an empty lake)")
-	name := flag.String("name", "lake", "lake name when starting empty")
-	snapshot := flag.String("snapshot", "", "snapshot file: warm-start from it when present, checkpoint to it on shutdown")
-	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint after every K publishes (0 = only on shutdown; needs -snapshot)")
-	measure := flag.String("measure", "bc", "default scoring measure")
-	samples := flag.Int("samples", 0, "approximate-BC sample count (0 = 1% of nodes)")
-	seed := flag.Int64("seed", 1, "random seed for sampling")
-	workers := flag.Int("workers", 0, "parallelism for graph build and scoring (0 = all CPUs)")
-	keep := flag.Bool("keep-singletons", false, "keep values occurring only once")
-	flag.Parse()
+// config is the parsed command line. Split from main so flag validation is
+// unit-testable and process tests can drive the daemon end to end.
+type config struct {
+	addr            string
+	dir             string
+	name            string
+	snapshot        string
+	walDir          string
+	follow          string
+	checkpointEvery int
+	measure         domainnet.Measure
+	samples         int
+	seed            int64
+	workers         int
+	keep            bool
+}
 
-	m, ok := domainnet.ParseMeasure(*measure)
+// parseFlags parses and validates args (without the program name). It fails
+// fast on contradictory flag combinations instead of silently ignoring the
+// loser — a daemon that drops the durability flags an operator asked for is
+// worse than one that refuses to start.
+func parseFlags(args []string) (*config, error) {
+	c := &config{}
+	var measure string
+	fs := flag.NewFlagSet("domainnetd", flag.ContinueOnError)
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.dir, "dir", "", "directory of CSV tables to pre-load (ignored when -snapshot exists; empty starts an empty lake)")
+	fs.StringVar(&c.name, "name", "lake", "lake name when starting empty")
+	fs.StringVar(&c.snapshot, "snapshot", "", "snapshot file: warm-start from it when present, checkpoint to it on shutdown")
+	fs.IntVar(&c.checkpointEvery, "checkpoint-every", 0, "also checkpoint after every K publishes (0 = only on shutdown; needs -snapshot)")
+	fs.StringVar(&c.walDir, "wal", "", "write-ahead log directory: fsync every mutation burst before acknowledging it, replay on startup, serve /repl/ to followers")
+	fs.StringVar(&c.follow, "follow", "", "run as a read-only replica of the leader at this base URL (conflicts with the mutation/durability flags)")
+	fs.StringVar(&measure, "measure", "bc", "default scoring measure")
+	fs.IntVar(&c.samples, "samples", 0, "approximate-BC sample count (0 = 1% of nodes)")
+	fs.Int64Var(&c.seed, "seed", 1, "random seed for sampling")
+	fs.IntVar(&c.workers, "workers", 0, "parallelism for graph build and scoring (0 = all CPUs)")
+	fs.BoolVar(&c.keep, "keep-singletons", false, "keep values occurring only once")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	m, ok := domainnet.ParseMeasure(measure)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown measure %q (valid: %s)\n",
-			*measure, strings.Join(domainnet.MeasureNames(), ", "))
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown measure %q (valid: %s)",
+			measure, strings.Join(domainnet.MeasureNames(), ", "))
 	}
-	if *checkpointEvery > 0 && *snapshot == "" {
-		fmt.Fprintln(os.Stderr, "-checkpoint-every requires -snapshot")
-		os.Exit(2)
+	c.measure = m
+	if c.checkpointEvery < 0 {
+		return nil, fmt.Errorf("-checkpoint-every must be non-negative, got %d", c.checkpointEvery)
 	}
+	if c.checkpointEvery > 0 && c.snapshot == "" {
+		return nil, errors.New("-checkpoint-every requires -snapshot (there is nowhere to checkpoint to)")
+	}
+	if c.walDir != "" && c.dir != "" && c.snapshot == "" {
+		// Recovery would replay the log onto whatever the CSV directory
+		// happens to contain at restart — an edited file with an unchanged
+		// table count passes every version-chain check and yields silently
+		// diverged state. A snapshot gives replay a stable base.
+		return nil, errors.New("-wal with -dir requires -snapshot (recovery must replay onto the checkpointed base, not the CSV directory's current contents)")
+	}
+	if c.follow != "" {
+		for flagName, set := range map[string]bool{
+			"-dir":              c.dir != "",
+			"-snapshot":         c.snapshot != "",
+			"-wal":              c.walDir != "",
+			"-checkpoint-every": c.checkpointEvery > 0,
+		} {
+			if set {
+				return nil, fmt.Errorf("-follow runs a read-only replica that bootstraps from its leader; it conflicts with %s", flagName)
+			}
+		}
+		explicit := map[string]bool{}
+		fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+		if explicit["keep-singletons"] {
+			// Silently ignoring it would be worse than refusing: the
+			// replica adopts the leader's graph semantics so its state
+			// stays bit-identical.
+			return nil, errors.New("-keep-singletons has no effect with -follow (the replica adopts the leader's setting)")
+		}
+	}
+	return c, nil
+}
 
+func (c *config) detectorConfig() domainnet.Config {
+	return domainnet.Config{
+		Measure:        c.measure,
+		Samples:        c.samples,
+		Seed:           c.seed,
+		Workers:        c.workers,
+		KeepSingletons: c.keep,
+	}
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "domainnetd:", err)
+		}
+		os.Exit(2)
+	}
+	if err := run(c); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(c *config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if c.follow != "" {
+		return runFollower(ctx, c, stop)
+	}
+	return runLeader(ctx, c, stop)
+}
+
+// serveUntilShutdown listens on c.addr, serves handler, and drains on
+// SIGINT/SIGTERM. It logs the bound address ("listening on …"), which is
+// how process-level tests using port 0 discover the daemon. stop restores
+// the default signal disposition once shutdown begins, so a second signal
+// force-kills a daemon stuck draining or checkpointing instead of being
+// swallowed.
+func serveUntilShutdown(ctx context.Context, c *config, stop func(), handler http.Handler, banner string) error {
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("domainnetd: listening on %s", ln.Addr())
+	log.Print(banner)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("domainnetd: shutting down (again to force)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("domainnetd: shutdown: %v", err)
+	}
+	return nil
+}
+
+func runLeader(ctx context.Context, c *config, stop func()) error {
 	// Warm start: a snapshot file beats -dir, because it carries the derived
 	// graph state a CSV directory cannot.
 	var l *lake.Lake
 	var warmGraph *bipartite.Graph
-	if *snapshot != "" {
-		switch sn, err := persist.Load(*snapshot); {
+	snapshotLoaded := false
+	if c.snapshot != "" {
+		switch sn, err := persist.Load(c.snapshot); {
 		case err == nil:
 			l, warmGraph = sn.Lake, sn.Graph
-			if warmGraph != nil && warmGraph.KeepsSingletons() != *keep {
+			snapshotLoaded = true
+			if warmGraph != nil && warmGraph.KeepsSingletons() != c.keep {
 				// Don't let the serving layer reject the graph silently: a
 				// flag change voiding the snapshot turns the restart into a
 				// full build, and the operator should see why.
 				log.Printf("domainnetd: snapshot graph was built with keep-singletons=%v but -keep-singletons=%v; discarding it and cold-building",
-					warmGraph.KeepsSingletons(), *keep)
+					warmGraph.KeepsSingletons(), c.keep)
 				warmGraph = nil
 			}
 			log.Printf("domainnetd: warm start from %s (lake %q, %d tables, version %d, graph %v)",
-				*snapshot, l.Name, l.NumTables(), l.Version(), warmGraph != nil)
+				c.snapshot, l.Name, l.NumTables(), l.Version(), warmGraph != nil)
 		case errors.Is(err, os.ErrNotExist):
-			log.Printf("domainnetd: %s absent, cold start (will checkpoint there)", *snapshot)
+			log.Printf("domainnetd: %s absent, cold start (will checkpoint there)", c.snapshot)
 		default:
-			log.Fatal(err)
+			return err
 		}
 	}
+	dirLoaded := false
 	if l == nil {
-		if *dir != "" {
+		if c.dir != "" {
 			var err error
-			if l, err = lake.LoadDir(*dir); err != nil {
-				log.Fatal(err)
+			if l, err = lake.LoadDir(c.dir); err != nil {
+				return err
 			}
+			dirLoaded = true
 		} else {
-			l = lake.New(*name)
+			l = lake.New(c.name)
 		}
+	}
+
+	// The write-ahead log: replay whatever outlived the last checkpoint,
+	// then hook every future burst through the leader's OnCommit.
+	var wlog *wal.Log
+	var leader *repl.Leader
+	if c.walDir != "" {
+		if c.snapshot == "" {
+			// Legal — the WAL alone is full durability (recovery replays
+			// the whole history from an empty lake) — but nothing ever
+			// retires old segments without a checkpoint to truncate against,
+			// so the log and recovery time grow with every mutation.
+			log.Print("domainnetd: -wal without -snapshot: the log grows unbounded and restarts replay all of history; add -snapshot -checkpoint-every to retire old segments")
+		}
+		var err error
+		if wlog, err = wal.Open(c.walDir, wal.Options{}); err != nil {
+			return err
+		}
+		defer wlog.Close()
+		if _, _, hasHistory := wlog.Bounds(); hasHistory && dirLoaded {
+			// The log's records chain from the lake state that existed when
+			// they were committed — which was pinned by a snapshot, not by
+			// the CSV directory, whose contents may have changed since. An
+			// edited CSV with an unchanged table count would pass every
+			// version-chain check and replay into silently diverged state.
+			return fmt.Errorf("domainnetd: %s contains history but the snapshot %s is missing, leaving only the mutable CSV directory as a replay base; restore the snapshot file (or move the wal directory aside to discard its history)",
+				c.walDir, c.snapshot)
+		}
+		replayed := 0
+		last, err := wlog.Replay(l.Version(), func(rec *wal.Record) error {
+			for _, name := range rec.Remove {
+				if !l.RemoveTable(name) {
+					return fmt.Errorf("wal replay: burst %d→%d removes unknown table %q (snapshot and log disagree)",
+						rec.PrevVersion, rec.Version, name)
+				}
+			}
+			for _, t := range rec.Add {
+				if err := l.Add(t); err != nil {
+					return fmt.Errorf("wal replay: burst %d→%d: %w", rec.PrevVersion, rec.Version, err)
+				}
+			}
+			if l.Version() != rec.Version {
+				return fmt.Errorf("wal replay: burst %d→%d left the lake at %d",
+					rec.PrevVersion, rec.Version, l.Version())
+			}
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if replayed > 0 {
+			log.Printf("domainnetd: replayed %d wal burst(s), lake at version %d", replayed, last)
+			if warmGraph != nil {
+				// The persisted graph matched the snapshot's lake; catch it
+				// up to the replayed mutations incrementally so the serving
+				// layer still warm-starts without a full build.
+				attrs := l.Attributes()
+				warmGraph = bipartite.Rebuild(warmGraph, attrs, bipartite.Changed(warmGraph, attrs),
+					bipartite.Options{KeepSingletons: c.keep, Workers: c.workers})
+			}
+		}
+		leader = repl.NewLeader(wlog)
 	}
 
 	// The periodic checkpointer: AfterPublish signals (non-blocking, write
@@ -116,11 +326,14 @@ func main() {
 	ckpt := make(chan struct{}, 1)
 	var opts serve.Options
 	opts.Graph = warmGraph
-	if *checkpointEvery > 0 {
+	if leader != nil {
+		opts.OnCommit = leader.OnCommit
+	}
+	if c.checkpointEvery > 0 {
 		var writes int
 		opts.AfterPublish = func(uint64) {
 			writes++
-			if writes%*checkpointEvery == 0 {
+			if writes%c.checkpointEvery == 0 {
 				select {
 				case ckpt <- struct{}{}:
 				default: // a checkpoint is already pending; coalesce
@@ -129,69 +342,78 @@ func main() {
 		}
 	}
 
-	s := serve.NewWithOptions(l, domainnet.Config{
-		Measure:        m,
-		Samples:        *samples,
-		Seed:           *seed,
-		Workers:        *workers,
-		KeepSingletons: *keep,
-	}, opts)
+	s := serve.NewWithOptions(l, c.detectorConfig(), opts)
+	if leader != nil {
+		leader.Attach(s)
+	}
 
 	// Checkpoints encode under the server's write lock (the lake must not
 	// mutate mid-encode) but pay the disk write and fsyncs outside it, so
 	// writers stall only for the in-memory marshal, never for I/O. ckptMu
-	// keeps a slow periodic write from racing the shutdown checkpoint.
+	// keeps a slow periodic write from racing the shutdown checkpoint. A
+	// durable checkpoint retires the WAL segments it covers.
 	var ckptMu sync.Mutex
-	checkpoint := func(reason string) {
-		if *snapshot == "" {
-			return
+	checkpoint := func(reason string) error {
+		if c.snapshot == "" {
+			return nil
 		}
 		ckptMu.Lock()
 		defer ckptMu.Unlock()
 		var buf []byte
+		var version uint64
 		if err := s.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
+			version = l.Version()
 			buf = persist.Marshal(l, g)
 			return nil
 		}); err != nil {
 			log.Printf("domainnetd: checkpoint (%s) failed: %v", reason, err)
-			return
+			return err
 		}
-		if err := persist.WriteFile(*snapshot, buf); err != nil {
+		if err := persist.WriteFile(c.snapshot, buf); err != nil {
 			log.Printf("domainnetd: checkpoint (%s) failed: %v", reason, err)
-			return
+			return err
 		}
-		log.Printf("domainnetd: checkpointed %s (%s)", *snapshot, reason)
+		if wlog != nil {
+			if err := wlog.Truncate(version); err != nil {
+				log.Printf("domainnetd: wal truncate after checkpoint: %v", err)
+			}
+		}
+		log.Printf("domainnetd: checkpointed %s at version %d (%s)", c.snapshot, version, reason)
+		return nil
+	}
+	if c.snapshot != "" && !snapshotLoaded {
+		// Pin the cold-start base durably before the first WAL record can
+		// chain on top of it: a crash before any other checkpoint must
+		// recover by replaying onto this exact state, never onto whatever
+		// the CSV directory contains at restart time.
+		if err := checkpoint("initial"); err != nil {
+			return err
+		}
 	}
 	go func() {
 		for range ckpt {
-			checkpoint("periodic")
+			checkpoint("periodic") //nolint:errcheck // logged inside; retried next signal
 		}
 	}()
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           s,
-		ReadHeaderTimeout: 10 * time.Second,
+	err := serveUntilShutdown(ctx, c, stop, s,
+		fmt.Sprintf("domainnetd: serving lake %q (%d tables, snapshot version %d, wal %v)",
+			l.Name, l.NumTables(), s.Version(), wlog != nil))
+	if err != nil {
+		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	checkpoint("shutdown") //nolint:errcheck // logged inside; nothing left to retry
+	return nil
+}
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("domainnetd: serving lake %q (%d tables, snapshot version %d) on %s",
-		l.Name, l.NumTables(), s.Version(), *addr)
-
-	select {
-	case err := <-errc:
-		log.Fatal(err)
-	case <-ctx.Done():
+func runFollower(ctx context.Context, c *config, stop func()) error {
+	f := &repl.Follower{
+		Leader: strings.TrimRight(c.follow, "/"),
+		Config: c.detectorConfig(),
+		Client: &http.Client{Timeout: repl.DefaultPollTimeout + 15*time.Second},
+		Logf:   log.Printf,
 	}
-	stop()
-	log.Print("domainnetd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("domainnetd: shutdown: %v", err)
-	}
-	checkpoint("shutdown")
+	go f.Run(ctx) //nolint:errcheck // exits with ctx; errors are logged via Logf
+	return serveUntilShutdown(ctx, c, stop, f,
+		fmt.Sprintf("domainnetd: read-only replica of %s", f.Leader))
 }

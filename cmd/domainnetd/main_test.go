@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the daemon entry point for the process-level tests:
+// when DOMAINNETD_ARGS is set, the test binary re-execs into main() with
+// those arguments, so the integration tests below exercise the real daemon
+// — flag parsing, WAL recovery, replication, signal handling — without a
+// separate build step.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("DOMAINNETD_ARGS"); args != "" {
+		os.Args = append([]string{"domainnetd"}, strings.Split(args, "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// --- flag validation (fail fast on contradictory flags) ---
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"defaults", nil, true},
+		{"checkpoint with snapshot", []string{"-snapshot", "x.snap", "-checkpoint-every", "5"}, true},
+		{"checkpoint without snapshot", []string{"-checkpoint-every", "5"}, false},
+		{"negative checkpoint", []string{"-snapshot", "x.snap", "-checkpoint-every", "-1"}, false},
+		{"unknown measure", []string{"-measure", "pagerank"}, false},
+		{"wal standalone", []string{"-wal", "waldir"}, true},
+		{"wal with snapshot and dir", []string{"-wal", "waldir", "-snapshot", "x.snap", "-dir", "csvs"}, true},
+		{"wal with dir but no snapshot", []string{"-wal", "waldir", "-dir", "csvs"}, false},
+		{"follow standalone", []string{"-follow", "http://leader:8080"}, true},
+		{"follow with keep-singletons", []string{"-follow", "http://leader:8080", "-keep-singletons"}, false},
+		{"follow with dir", []string{"-follow", "http://leader:8080", "-dir", "csvs"}, false},
+		{"follow with snapshot", []string{"-follow", "http://leader:8080", "-snapshot", "x.snap"}, false},
+		{"follow with wal", []string{"-follow", "http://leader:8080", "-wal", "waldir"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if tc.ok && err != nil {
+				t.Fatalf("parseFlags(%v) = %v, want success", tc.args, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("parseFlags(%v) succeeded, want an error", tc.args)
+			}
+		})
+	}
+}
+
+// --- process-level integration ---
+
+// daemon is one live domainnetd child process.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startDaemon launches the test binary as a daemon and waits for it to log
+// its bound address.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "DOMAINNETD_ARGS="+strings.Join(args, "\x1f"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("[daemon %d] %s", cmd.Process.Pid, line)
+			if _, a, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addr <- strings.TrimSpace(a):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addr:
+		d.url = "http://" + a
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not log its listening address")
+	}
+	return d
+}
+
+// kill9 crashes the daemon without any chance to checkpoint.
+func (d *daemon) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+// shutdown stops the daemon gracefully (SIGTERM → drain → checkpoint).
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+func (d *daemon) get(t *testing.T, path string) string {
+	t.Helper()
+	resp, err := http.Get(d.url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", path, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// post uploads one CSV table and fails the test unless the daemon
+// acknowledged it (an acknowledged mutation is the unit of durability).
+func (d *daemon) post(t *testing.T, name, csv string) {
+	t.Helper()
+	resp, err := http.Post(d.url+"/tables/"+name, "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /tables/%s = %d (%s)", name, resp.StatusCode, b)
+	}
+}
+
+// version reads the daemon's current snapshot version from /stats.
+func (d *daemon) version(t *testing.T) float64 {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(d.get(t, "/stats")), &m); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m["version"].(float64)
+	if !ok {
+		t.Fatalf("stats carry no version: %v", m)
+	}
+	return v
+}
+
+// waitVersion polls until the daemon serves the wanted version, tolerating
+// 503s while a follower bootstraps.
+func (d *daemon) waitVersion(t *testing.T, want float64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url + "/stats")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var m map[string]any
+				if json.Unmarshal(b, &m) == nil {
+					if v, ok := m["version"].(float64); ok && v == want {
+						return
+					}
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reached version %v within %v", want, timeout)
+}
+
+// csvTable builds a small CSV whose values overlap across tables, so the
+// homograph ranking is non-trivial.
+func csvTable(i int) string {
+	return fmt.Sprintf("animal,city\njaguar,memphis\npuma,lima\nbeast%d,town%d\n", i, i)
+}
+
+// TestProcessCrashRecovery is the acceptance scenario: kill -9 a leader
+// mid-burst-stream and restart it; the recovered lake version and served
+// rankings must be bit-identical to the last acknowledged pre-crash state.
+func TestProcessCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	flags := []string{
+		"-wal", filepath.Join(dir, "wal"),
+		"-snapshot", filepath.Join(dir, "lake.snapshot"),
+		"-checkpoint-every", "3", // a checkpoint lands mid-history: recovery = snapshot + WAL tail
+		"-measure", "degree",
+		"-name", "crashtest",
+	}
+	d := startDaemon(t, flags...)
+	for i := 0; i < 7; i++ {
+		d.post(t, fmt.Sprintf("t%d", i), csvTable(i))
+	}
+	preTopk := d.get(t, "/topk?k=30&measure=degree")
+	preVersion := d.version(t)
+	d.kill9(t)
+
+	// The /topk body carries the snapshot version, so one comparison pins
+	// both "no acknowledged mutation lost" and "identical rankings".
+	d2 := startDaemon(t, flags...)
+	if got := d2.get(t, "/topk?k=30&measure=degree"); got != preTopk {
+		t.Errorf("post-crash /topk differs:\npre:  %s\npost: %s", preTopk, got)
+	}
+	if got := d2.version(t); got != preVersion {
+		t.Errorf("post-crash version = %v, want %v", got, preVersion)
+	}
+
+	// The recovered leader keeps accepting writes (the WAL chain continues
+	// past the replayed history) and survives a second crash.
+	d2.post(t, "t7", csvTable(7))
+	preTopk = d2.get(t, "/topk?k=30&measure=degree")
+	d2.kill9(t)
+	d3 := startDaemon(t, flags...)
+	if got := d3.get(t, "/topk?k=30&measure=degree"); got != preTopk {
+		t.Errorf("second recovery /topk differs:\npre:  %s\npost: %s", preTopk, got)
+	}
+	d3.shutdown(t)
+}
+
+// TestProcessLeaderFollower runs a two-process replication pair: the
+// follower must converge to the leader's version and serve bit-identical
+// rankings, live-tail later mutations, and reject direct writes.
+func TestProcessLeaderFollower(t *testing.T) {
+	dir := t.TempDir()
+	leader := startDaemon(t,
+		"-wal", filepath.Join(dir, "wal"),
+		"-measure", "degree",
+		"-name", "repltest",
+	)
+	for i := 0; i < 4; i++ {
+		leader.post(t, fmt.Sprintf("t%d", i), csvTable(i))
+	}
+	follower := startDaemon(t, "-follow", leader.url, "-measure", "degree")
+	follower.waitVersion(t, leader.version(t), 15*time.Second)
+	if l, f := leader.get(t, "/topk?k=30&measure=degree"), follower.get(t, "/topk?k=30&measure=degree"); l != f {
+		t.Errorf("follower /topk diverges:\nleader:   %s\nfollower: %s", l, f)
+	}
+
+	// Live tail: a mutation after the follower attached propagates.
+	leader.post(t, "late", csvTable(99))
+	follower.waitVersion(t, leader.version(t), 15*time.Second)
+	if l, f := leader.get(t, "/topk?k=30&measure=degree"), follower.get(t, "/topk?k=30&measure=degree"); l != f {
+		t.Errorf("follower /topk diverges after live tail:\nleader:   %s\nfollower: %s", l, f)
+	}
+
+	// Followers are read-only.
+	resp, err := http.Post(follower.url+"/tables/nope", "text/csv", strings.NewReader("a\nb\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("follower accepted a write: %d", resp.StatusCode)
+	}
+
+	follower.shutdown(t)
+	leader.shutdown(t)
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -111,42 +112,57 @@ func Load(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
+	sn, err := Unmarshal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sn, nil
+}
+
+// Unmarshal decodes complete snapshot bytes produced by Marshal, verifying
+// the magic, checksum and format version. It is the pure inverse of Marshal:
+// Load is ReadFile + Unmarshal, and the replication follower applies it to a
+// snapshot fetched over HTTP instead of from disk. Corrupt or truncated
+// input yields an error, never a panic (FuzzLoad holds the decoder to that).
+func Unmarshal(buf []byte) (*Snapshot, error) {
 	if len(buf) < len(magic)+4 || [4]byte(buf[:4]) != magic {
-		return nil, fmt.Errorf("persist: %s is not a DomainNet snapshot", path)
+		return nil, fmt.Errorf("persist: not a DomainNet snapshot")
 	}
 	body := buf[4 : len(buf)-4]
 	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if got := crc32.ChecksumIEEE(body); got != want {
-		return nil, fmt.Errorf("persist: %s: checksum mismatch (corrupt or truncated snapshot)", path)
+		return nil, fmt.Errorf("persist: checksum mismatch (corrupt or truncated snapshot)")
 	}
 	sn, err := decodeBody(body)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %s: %w", path, err)
+		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return sn, nil
+}
+
+// Decode reads a complete snapshot stream — the bytes Save puts on disk,
+// which the replication leader also streams over /repl/snapshot — and
+// decodes it. The replication follower bootstraps with it.
+func Decode(r io.Reader) (*Snapshot, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return Unmarshal(buf)
 }
 
 // --- encoding ---
 
 func appendBody(b []byte, l *lake.Lake, g *bipartite.Graph) []byte {
 	b = binary.AppendUvarint(b, FormatVersion)
-	b = appendString(b, l.Name)
+	b = AppendString(b, l.Name)
 	b = binary.AppendUvarint(b, l.Version())
 
 	tables := l.Tables()
 	tableAttrs := l.TableAttributes()
 	b = binary.AppendUvarint(b, uint64(len(tables)))
 	for ti, t := range tables {
-		b = appendString(b, t.Name)
-		b = binary.AppendUvarint(b, uint64(len(t.Columns)))
-		for ci := range t.Columns {
-			col := &t.Columns[ci]
-			b = appendString(b, col.Name)
-			b = binary.AppendUvarint(b, uint64(len(col.Values)))
-			for _, v := range col.Values {
-				b = appendString(b, v)
-			}
-		}
+		b = AppendTable(b, t)
 		// The table's normalized attribute slice rides along so a warm
 		// start skips re-normalizing every cell — on large lakes that scan
 		// costs as much as the graph build it is trying to avoid.
@@ -154,11 +170,11 @@ func appendBody(b []byte, l *lake.Lake, g *bipartite.Graph) []byte {
 		b = binary.AppendUvarint(b, uint64(len(attrs)))
 		for ai := range attrs {
 			a := &attrs[ai]
-			b = appendString(b, a.ID)
-			b = appendString(b, a.Column)
+			b = AppendString(b, a.ID)
+			b = AppendString(b, a.Column)
 			b = binary.AppendUvarint(b, uint64(len(a.Values)))
 			for _, v := range a.Values {
-				b = appendString(b, v)
+				b = AppendString(b, v)
 			}
 			for j := range a.Values {
 				f := 1 // a nil Freqs counts every value once
@@ -185,11 +201,11 @@ func appendBody(b []byte, l *lake.Lake, g *bipartite.Graph) []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(len(st.Values)))
 	for _, v := range st.Values {
-		b = appendString(b, v)
+		b = AppendString(b, v)
 	}
 	b = binary.AppendUvarint(b, uint64(len(st.AttrIDs)))
 	for _, id := range st.AttrIDs {
-		b = appendString(b, id)
+		b = AppendString(b, id)
 	}
 	// Offsets are a monotone prefix sum; store first-order deltas, which are
 	// node degrees and varint-compress far better than absolute offsets.
@@ -205,38 +221,72 @@ func appendBody(b []byte, l *lake.Lake, g *bipartite.Graph) []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(len(st.Occ)))
 	for v, c := range st.Occ {
-		b = appendString(b, v)
+		b = AppendString(b, v)
 		b = binary.AppendUvarint(b, uint64(c))
 	}
 	return b
 }
 
-func appendString(b []byte, s string) []byte {
+// AppendString appends a length-prefixed string, the codec's primitive for
+// all text. Exported (with AppendTable and Reader) so internal/wal encodes
+// its mutation records in the same format as snapshots.
+func AppendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
+// AppendTable encodes one table — name, then each column's name and cell
+// values — using the same layout the snapshot body uses, so the WAL's
+// mutation records and the snapshot file share one table format.
+func AppendTable(b []byte, t *table.Table) []byte {
+	b = AppendString(b, t.Name)
+	b = binary.AppendUvarint(b, uint64(len(t.Columns)))
+	for ci := range t.Columns {
+		col := &t.Columns[ci]
+		b = AppendString(b, col.Name)
+		b = binary.AppendUvarint(b, uint64(len(col.Values)))
+		for _, v := range col.Values {
+			b = AppendString(b, v)
+		}
+	}
+	return b
+}
+
 // --- decoding ---
 
-// reader is a cursor over the snapshot body with sticky error handling, so
-// the decode path reads linearly and checks one error at the end of each
-// section. Data strings (cells, normalized values, occurrence keys) are
-// interned through one map: lake values repeat heavily across tables and
-// appear again in the graph section, so interning cuts both decode
-// allocations and resident memory.
-type reader struct {
+// Reader is a cursor over codec bytes with sticky error handling, so decode
+// paths read linearly and check one error at the end of each section. Data
+// strings (cells, normalized values, occurrence keys) are interned through
+// one map: lake values repeat heavily across tables and appear again in the
+// graph section, so interning cuts both decode allocations and resident
+// memory. The zero Reader is not usable; construct with NewReader.
+type Reader struct {
 	buf    []byte
 	err    error
 	intern map[string]string
 }
 
-func (r *reader) fail(format string, args ...any) {
+// NewReader returns a cursor over buf. internal/wal decodes its mutation
+// record payloads with it; the snapshot decoder uses the same machinery.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf, intern: make(map[string]string, 64)}
+}
+
+// Err reports the first decode failure, or nil. Once set, every subsequent
+// read is a no-op returning zero values.
+func (r *Reader) Err() error { return r.err }
+
+// Len reports the number of not-yet-consumed bytes.
+func (r *Reader) Len() int { return len(r.buf) }
+
+func (r *Reader) fail(format string, args ...any) {
 	if r.err == nil {
 		r.err = fmt.Errorf(format, args...)
 	}
 }
 
-func (r *reader) uvarint() uint64 {
+// Uvarint reads one unsigned varint.
+func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
 	}
@@ -249,11 +299,11 @@ func (r *reader) uvarint() uint64 {
 	return v
 }
 
-// length reads a uvarint used as a count and bounds it by the remaining
+// Length reads a uvarint used as a count and bounds it by the remaining
 // bytes (every counted element occupies at least one byte), so a corrupt
 // count cannot trigger a huge allocation before the decode fails.
-func (r *reader) length(what string) int {
-	v := r.uvarint()
+func (r *Reader) Length(what string) int {
+	v := r.Uvarint()
 	if r.err == nil && v > uint64(len(r.buf)) {
 		r.fail("%s count %d exceeds remaining %d bytes", what, v, len(r.buf))
 		return 0
@@ -261,8 +311,9 @@ func (r *reader) length(what string) int {
 	return int(v)
 }
 
-func (r *reader) string() string {
-	n := r.length("string")
+// String reads one length-prefixed string written by AppendString.
+func (r *Reader) String() string {
+	n := r.Length("string")
 	if r.err != nil {
 		return ""
 	}
@@ -271,9 +322,9 @@ func (r *reader) string() string {
 	return s
 }
 
-// dataString is string for cell-level data: the decoded value is interned.
-func (r *reader) dataString() string {
-	n := r.length("string")
+// dataString is String for cell-level data: the decoded value is interned.
+func (r *Reader) dataString() string {
+	n := r.Length("string")
 	if r.err != nil {
 		return ""
 	}
@@ -287,7 +338,23 @@ func (r *reader) dataString() string {
 	return s
 }
 
-func (r *reader) byte() byte {
+// Table reads one table written by AppendTable. Cell values are interned.
+func (r *Reader) Table() *table.Table {
+	t := table.New(r.String())
+	nCols := r.Length("column")
+	for ci := 0; ci < nCols && r.err == nil; ci++ {
+		colName := r.String()
+		nVals := r.Length("cell")
+		vals := make([]string, 0, nVals)
+		for vi := 0; vi < nVals && r.err == nil; vi++ {
+			vals = append(vals, r.dataString())
+		}
+		t.AddColumn(colName, vals...)
+	}
+	return t
+}
+
+func (r *Reader) byte() byte {
 	if r.err != nil {
 		return 0
 	}
@@ -301,40 +368,30 @@ func (r *reader) byte() byte {
 }
 
 func decodeBody(body []byte) (*Snapshot, error) {
-	r := &reader{buf: body, intern: make(map[string]string, 1024)}
-	if v := r.uvarint(); r.err == nil && v != FormatVersion {
+	r := &Reader{buf: body, intern: make(map[string]string, 1024)}
+	if v := r.Uvarint(); r.err == nil && v != FormatVersion {
 		return nil, fmt.Errorf("snapshot format %d, this build reads %d", v, FormatVersion)
 	}
-	name := r.string()
-	version := r.uvarint()
+	name := r.String()
+	version := r.Uvarint()
 
-	nTables := r.length("table")
+	nTables := r.Length("table")
 	tables := make([]*table.Table, 0, nTables)
 	tableAttrs := make([][]lake.Attribute, 0, nTables)
 	for ti := 0; ti < nTables && r.err == nil; ti++ {
-		t := table.New(r.string())
-		nCols := r.length("column")
-		for ci := 0; ci < nCols && r.err == nil; ci++ {
-			colName := r.string()
-			nVals := r.length("cell")
-			vals := make([]string, 0, nVals)
-			for vi := 0; vi < nVals && r.err == nil; vi++ {
-				vals = append(vals, r.dataString())
-			}
-			t.AddColumn(colName, vals...)
-		}
-		nAttrs := r.length("attribute")
+		t := r.Table()
+		nAttrs := r.Length("attribute")
 		attrs := make([]lake.Attribute, 0, nAttrs)
 		for ai := 0; ai < nAttrs && r.err == nil; ai++ {
-			a := lake.Attribute{ID: r.string(), Table: t.Name, Column: r.string()}
-			nVals := r.length("attribute value")
+			a := lake.Attribute{ID: r.String(), Table: t.Name, Column: r.String()}
+			nVals := r.Length("attribute value")
 			a.Values = make([]string, 0, nVals)
 			for vi := 0; vi < nVals && r.err == nil; vi++ {
 				a.Values = append(a.Values, r.dataString())
 			}
 			a.Freqs = make([]int, 0, nVals)
 			for vi := 0; vi < nVals && r.err == nil; vi++ {
-				a.Freqs = append(a.Freqs, int(r.uvarint()))
+				a.Freqs = append(a.Freqs, int(r.Uvarint()))
 			}
 			attrs = append(attrs, a)
 		}
@@ -356,33 +413,33 @@ func decodeBody(body []byte) (*Snapshot, error) {
 		return &Snapshot{Lake: l}, nil
 	}
 	st := &bipartite.State{KeepSingletons: r.byte() != 0}
-	nVals := r.length("value")
+	nVals := r.Length("value")
 	st.Values = make([]string, 0, nVals)
 	for i := 0; i < nVals && r.err == nil; i++ {
 		st.Values = append(st.Values, r.dataString())
 	}
-	nAttrs := r.length("attribute")
+	nAttrs := r.Length("attribute")
 	st.AttrIDs = make([]string, 0, nAttrs)
 	for i := 0; i < nAttrs && r.err == nil; i++ {
-		st.AttrIDs = append(st.AttrIDs, r.string())
+		st.AttrIDs = append(st.AttrIDs, r.String())
 	}
-	nOff := r.length("offset")
+	nOff := r.Length("offset")
 	st.Offsets = make([]int64, 0, nOff)
 	off := int64(0)
 	for i := 0; i < nOff && r.err == nil; i++ {
-		off += int64(r.uvarint())
+		off += int64(r.Uvarint())
 		st.Offsets = append(st.Offsets, off)
 	}
-	nAdj := r.length("adjacency")
+	nAdj := r.Length("adjacency")
 	st.Adj = make([]int32, 0, nAdj)
 	for i := 0; i < nAdj && r.err == nil; i++ {
-		st.Adj = append(st.Adj, int32(r.uvarint()))
+		st.Adj = append(st.Adj, int32(r.Uvarint()))
 	}
-	nOcc := r.length("occurrence")
+	nOcc := r.Length("occurrence")
 	st.Occ = make(map[string]int64, nOcc)
 	for i := 0; i < nOcc && r.err == nil; i++ {
 		v := r.dataString()
-		st.Occ[v] = int64(r.uvarint())
+		st.Occ[v] = int64(r.Uvarint())
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -1,0 +1,254 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"domainnet/internal/domainnet"
+	"domainnet/internal/persist"
+	"domainnet/internal/serve"
+	"domainnet/internal/wal"
+)
+
+// ErrBehindHorizon reports that the leader's log no longer reaches back to
+// the follower's version; only a fresh snapshot bootstrap can resynchronize.
+var ErrBehindHorizon = fmt.Errorf("repl: follower is behind the leader's log horizon")
+
+// ErrDiverged reports that applying a delta did not reproduce the version
+// the leader stamped on it — the replica's state can no longer be trusted
+// and must be rebuilt from a snapshot.
+var ErrDiverged = fmt.Errorf("repl: follower state diverged from the leader")
+
+// Follower replicates a leader's lake: it bootstraps from /repl/snapshot,
+// then tails /repl/changes and applies each burst through serve.Apply — the
+// same validation and incremental-rebuild path the leader's writes took, so
+// replica state is bit-identical at every version. It implements
+// http.Handler, serving the read endpoints from its current replica (503
+// until the first bootstrap completes) and rejecting mutations (the replica
+// server is read-only).
+type Follower struct {
+	// Leader is the leader's base URL, e.g. "http://10.0.0.1:8080".
+	Leader string
+	// Config configures the replica's detector exactly like a primary's;
+	// KeepSingletons must match the leader for the streamed graph to be
+	// reusable (a mismatch falls back to a local cold build).
+	Config domainnet.Config
+	// Client overrides the package's default client (whose timeout is
+	// DefaultPollTimeout plus slack). Its Timeout must exceed the leader's
+	// poll timeout or every idle long-poll turns into an error.
+	Client *http.Client
+	// Logf, when non-nil, receives operational events (bootstraps, resyncs,
+	// retries). log.Printf fits.
+	Logf func(format string, args ...any)
+	// RetryDelay paces reconnection after transport errors; default 1s.
+	RetryDelay time.Duration
+
+	srv atomic.Pointer[serve.Server]
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// defaultClient backs zero-value Followers: its timeout comfortably
+// outlives an idle long-poll yet still unsticks a half-open connection to a
+// silently dead leader, which http.DefaultClient (no timeout) never would.
+var defaultClient = &http.Client{Timeout: DefaultPollTimeout + 15*time.Second}
+
+func (f *Follower) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return defaultClient
+}
+
+// Server returns the current replica server, or nil before the first
+// successful bootstrap.
+func (f *Follower) Server() *serve.Server { return f.srv.Load() }
+
+// Version reports the replica's current version; zero before bootstrap.
+func (f *Follower) Version() uint64 {
+	if s := f.srv.Load(); s != nil {
+		return s.Version()
+	}
+	return 0
+}
+
+// ServeHTTP serves reads from the current replica.
+func (f *Follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s := f.srv.Load()
+	if s == nil {
+		http.Error(w, "replica is bootstrapping from the leader", http.StatusServiceUnavailable)
+		return
+	}
+	s.ServeHTTP(w, r)
+}
+
+// Bootstrap fetches a full snapshot from the leader and replaces the
+// replica with it. Deltas past the snapshot arrive through the next Poll.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Leader+"/repl/snapshot", nil)
+	if err != nil {
+		return fmt.Errorf("repl: %w", err)
+	}
+	// The configured client's timeout is sized for the change feed's
+	// long-poll; a whole-snapshot download of a large lake must not race
+	// it, or bootstrap would time out mid-stream on every attempt. Same
+	// transport, no overall deadline — cancellation comes from ctx.
+	client := *f.client()
+	client.Timeout = 0
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, body)
+	}
+	sn, err := persist.Decode(resp.Body)
+	if err != nil {
+		return err
+	}
+	// Replication promises bit-identical state at every version, so the
+	// replica must score over the leader's graph semantics, not its own
+	// configuration: adopt the streamed graph's KeepSingletons. Without
+	// this, a mismatched flag would silently cold-build a different graph
+	// under the same version stamps.
+	cfg := f.Config
+	if sn.Graph != nil && sn.Graph.KeepsSingletons() != cfg.KeepSingletons {
+		f.logf("repl: adopting the leader's keep-singletons=%v (local config says %v)",
+			sn.Graph.KeepsSingletons(), cfg.KeepSingletons)
+		cfg.KeepSingletons = sn.Graph.KeepsSingletons()
+	}
+	srv := serve.NewWithOptions(sn.Lake, cfg, serve.Options{Graph: sn.Graph, ReadOnly: true})
+	f.srv.Store(srv)
+	f.logf("repl: bootstrapped from %s at version %d (%d tables)",
+		f.Leader, srv.Version(), sn.Lake.NumTables())
+	return nil
+}
+
+// Poll runs one change-feed cycle: long-poll the leader for bursts past the
+// replica's version and apply each one, asserting the version chain. It
+// returns the number of bursts applied (zero for an idle 204), and
+// ErrBehindHorizon or ErrDiverged when only a re-bootstrap can help.
+func (f *Follower) Poll(ctx context.Context) (int, error) {
+	srv := f.srv.Load()
+	if srv == nil {
+		return 0, fmt.Errorf("repl: poll before bootstrap")
+	}
+	from := srv.Version()
+	url := fmt.Sprintf("%s/repl/changes?from=%d", f.Leader, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("repl: %w", err)
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("repl: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return 0, nil
+	case http.StatusGone:
+		return 0, ErrBehindHorizon
+	case http.StatusConflict:
+		// The leader's history does not reach our version: it lost state
+		// and restarted. Downgrading to its snapshot is the only way back
+		// to a shared history.
+		return 0, fmt.Errorf("%w: replica version %d is ahead of the leader's history", ErrDiverged, from)
+	case http.StatusOK:
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("repl: change feed: %s: %s", resp.Status, body)
+	}
+
+	applied := 0
+	for {
+		payload, err := wal.ReadFrame(resp.Body)
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			// A record made it onto the wire torn (connection cut
+			// mid-frame): everything before it applied cleanly, the next
+			// poll picks up from there.
+			return applied, fmt.Errorf("repl: %w", err)
+		}
+		rec, err := wal.DecodeRecord(payload)
+		if err != nil {
+			return applied, err
+		}
+		if rec.PrevVersion != srv.Version() {
+			return applied, fmt.Errorf("%w: burst applies at version %d, replica is at %d",
+				ErrDiverged, rec.PrevVersion, srv.Version())
+		}
+		if _, err := srv.Apply(rec.Add, rec.Remove); err != nil {
+			return applied, fmt.Errorf("%w: applying burst %d→%d: %v",
+				ErrDiverged, rec.PrevVersion, rec.Version, err)
+		}
+		if got := srv.Version(); got != rec.Version {
+			return applied, fmt.Errorf("%w: burst %d→%d left the replica at %d",
+				ErrDiverged, rec.PrevVersion, rec.Version, got)
+		}
+		applied++
+	}
+}
+
+// Run replicates until ctx is cancelled: bootstrap (with retries), then
+// poll forever, re-bootstrapping whenever the replica falls behind the
+// leader's log horizon or diverges. During a re-bootstrap the previous
+// replica keeps serving — it is a consistent stale snapshot, which the
+// consistency model permits — and is swapped out only when the new one is
+// ready. Run returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	delay := f.RetryDelay
+	if delay <= 0 {
+		delay = time.Second
+	}
+	for ctx.Err() == nil {
+		if f.srv.Load() == nil {
+			if err := f.Bootstrap(ctx); err != nil {
+				if ctx.Err() != nil {
+					break
+				}
+				f.logf("repl: bootstrap failed (retrying in %v): %v", delay, err)
+				sleep(ctx, delay)
+				continue
+			}
+		}
+		switch _, err := f.Poll(ctx); {
+		case err == nil:
+		case errors.Is(err, ErrBehindHorizon), errors.Is(err, ErrDiverged):
+			f.logf("repl: %v; re-bootstrapping from snapshot", err)
+			if err := f.Bootstrap(ctx); err != nil && ctx.Err() == nil {
+				f.logf("repl: re-bootstrap failed (retrying in %v): %v", delay, err)
+				sleep(ctx, delay)
+			}
+		default:
+			if ctx.Err() != nil {
+				break
+			}
+			f.logf("repl: poll failed (retrying in %v): %v", delay, err)
+			sleep(ctx, delay)
+		}
+	}
+	return ctx.Err()
+}
+
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

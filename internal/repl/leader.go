@@ -1,0 +1,280 @@
+// Package repl is the leader/follower replication layer over the serving
+// stack: a leader exposes its mutation history (internal/wal) and state
+// (internal/persist) over two HTTP endpoints, and any number of followers
+// tail the change feed, applying each burst through the same incremental
+// rebuild machinery the leader used — so a follower's snapshots are
+// bit-identical to the leader's at every version, and `/topk`, `/score` and
+// `/stats` scale horizontally by adding replicas.
+//
+// The protocol is two endpoints, zero dependencies:
+//
+//	GET /repl/changes?from=<version>   long-poll; streams wal frames of every
+//	                                   burst past <version>, 204 when caught
+//	                                   up, 410 Gone when <version> is behind
+//	                                   the log horizon (fetch a snapshot)
+//	GET /repl/snapshot                 streams the persist codec (the same
+//	                                   bytes a disk checkpoint writes)
+//
+// Consistency model: followers are sequentially consistent with the leader's
+// burst history and eventually current — a read hitting a follower may see a
+// slightly older version (stamped on every response), never a torn or
+// reordered one.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/lake"
+	"domainnet/internal/persist"
+	"domainnet/internal/serve"
+	"domainnet/internal/wal"
+)
+
+// VersionHeader carries the version a replication response was produced at.
+const VersionHeader = "X-Domainnet-Version"
+
+// DefaultPollTimeout bounds how long /repl/changes holds an idle long-poll
+// before answering 204; followers re-poll immediately, so the value trades
+// connection churn against how long a dead leader pins follower requests.
+const DefaultPollTimeout = 25 * time.Second
+
+// DefaultTailCache bounds the in-memory ring of recent commits a leader
+// keeps so that followers at (or near) the tip are fed without touching the
+// log's segment files — the steady-state poll costs one mutex and a slice
+// copy, not a disk scan per commit per follower.
+const DefaultTailCache = 256
+
+// Leader publishes a server's mutation history to followers. Create with
+// NewLeader, wire OnCommit into serve.Options, then Attach to the server.
+type Leader struct {
+	log *wal.Log
+	srv *serve.Server
+	// PollTimeout overrides DefaultPollTimeout when positive.
+	PollTimeout time.Duration
+	// TailCache overrides DefaultTailCache when positive. Set before the
+	// first commit.
+	TailCache int
+
+	mu   sync.Mutex
+	ch   chan struct{} // closed and replaced on every commit (broadcast)
+	tail []tailEntry   // ring of the most recent commits, oldest first
+}
+
+// tailEntry is one ring slot: the burst's version stamps plus its frame
+// bytes, encoded once at commit time so every follower poll that hits the
+// ring is a plain byte-slice write, not a re-encoding of the burst's tables.
+type tailEntry struct {
+	prev, ver uint64
+	frame     []byte
+}
+
+// NewLeader returns a leader over the given write-ahead log.
+func NewLeader(log *wal.Log) *Leader {
+	return &Leader{log: log, ch: make(chan struct{})}
+}
+
+// OnCommit is the server's write-ahead hook (serve.Options.OnCommit): it
+// durably appends the burst to the WAL before the lake applies it, then
+// wakes every long-polling follower. An append error aborts the burst.
+func (ld *Leader) OnCommit(m serve.Mutation) error {
+	rec := &wal.Record{
+		PrevVersion: m.PrevVersion,
+		Version:     m.Version,
+		Remove:      m.Remove,
+		Add:         m.Add,
+	}
+	frame, err := ld.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	cache := ld.TailCache
+	if cache <= 0 {
+		cache = DefaultTailCache
+	}
+	entry := tailEntry{prev: rec.PrevVersion, ver: rec.Version, frame: frame}
+	ld.mu.Lock()
+	ld.tail = append(ld.tail, entry)
+	if len(ld.tail) > cache {
+		// Copy down instead of re-slicing so the dropped entries' frames
+		// do not stay reachable through the backing array.
+		n := copy(ld.tail, ld.tail[len(ld.tail)-cache:])
+		clear(ld.tail[n:])
+		ld.tail = ld.tail[:n]
+	}
+	close(ld.ch)
+	ld.ch = make(chan struct{})
+	ld.mu.Unlock()
+	return nil
+}
+
+// fromTail serves the change feed's hot path from the in-memory ring,
+// returning the pre-encoded frames past from and the version of the last
+// one. ok is false when from predates the ring (or misses a burst boundary
+// inside it): the caller falls back to the log, whose chain verification
+// produces the right answer — more history, ErrGap, or a chain-break error.
+func (ld *Leader) fromTail(from uint64) (frames [][]byte, last uint64, ok bool) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	if len(ld.tail) == 0 {
+		return nil, 0, false
+	}
+	if from >= ld.tail[len(ld.tail)-1].ver {
+		return nil, from, true // caught up; park on the commit signal
+	}
+	if from < ld.tail[0].prev {
+		return nil, 0, false
+	}
+	for i := range ld.tail {
+		if ld.tail[i].prev == from {
+			for _, e := range ld.tail[i:] {
+				frames = append(frames, e.frame)
+				last = e.ver
+			}
+			return frames, last, true
+		}
+	}
+	return nil, 0, false
+}
+
+// commitSignal returns a channel that is closed by the next commit. Grab it
+// before checking the log so a commit between the check and the wait cannot
+// be missed.
+func (ld *Leader) commitSignal() <-chan struct{} {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	return ld.ch
+}
+
+// Attach mounts the replication endpoints on the server. Call once, before
+// the server starts receiving traffic.
+func (ld *Leader) Attach(s *serve.Server) {
+	ld.srv = s
+	s.Handle("GET /repl/changes", http.HandlerFunc(ld.handleChanges))
+	s.Handle("GET /repl/snapshot", http.HandlerFunc(ld.handleSnapshot))
+}
+
+// handleChanges serves the change feed: every burst past ?from=, as wal
+// frames. With nothing to send it parks until a commit lands or the poll
+// timeout elapses (204).
+func (ld *Leader) handleChanges(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "missing or invalid from parameter", http.StatusBadRequest)
+		return
+	}
+	// A follower claiming a version ahead of everything this leader ever
+	// committed can only mean the leader lost state (wiped WAL + snapshot)
+	// and restarted with a fresh history. Parking such a follower on the
+	// feed would later hand it deltas from an unrelated history whose
+	// version stamps happen to line up — silent divergence. Send it back to
+	// the snapshot instead. The WAL's newest version is checked first: a
+	// burst is fed to followers the instant it commits, marginally before
+	// the leader's own serve version advances.
+	ahead := from > ld.srv.Version()
+	if _, last, ok := ld.log.Bounds(); ok && from <= last {
+		ahead = false
+	}
+	if ahead {
+		http.Error(w, fmt.Sprintf("version %d is ahead of this leader's history; re-bootstrap from /repl/snapshot", from),
+			http.StatusConflict)
+		return
+	}
+	timeout := ld.PollTimeout
+	if timeout <= 0 {
+		timeout = DefaultPollTimeout
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		signal := ld.commitSignal()
+		// A caught-up follower (the steady state) parks on the commit
+		// signal without touching the ring or the log: after a leader
+		// restart the ring is empty, and falling through to a disk read
+		// here would rescan the tail segment once per poll per follower
+		// for as long as no writes arrive. But "the log has nothing past
+		// from" only means caught up when from has also reached the served
+		// version — an emptied or swapped WAL directory behind a still-
+		// advanced leader is an unbridgeable gap, and parking the follower
+		// would leave it serving stale data with no resync.
+		if _, last, ok := ld.log.Bounds(); !ok || from >= last {
+			if from < ld.srv.Version() {
+				http.Error(w, fmt.Sprintf("%v (need version %d, log is empty past %d)", wal.ErrGap, from, from),
+					http.StatusGone)
+				return
+			}
+			select {
+			case <-signal:
+				continue
+			case <-deadline.C:
+				w.WriteHeader(http.StatusNoContent)
+				return
+			case <-r.Context().Done():
+				return
+			}
+		}
+		frames, last, ok := ld.fromTail(from)
+		if !ok {
+			recs, err := ld.log.ReadFrom(from)
+			switch {
+			case errors.Is(err, wal.ErrGap):
+				// The history bridging the follower's version is truncated;
+				// only a full snapshot can help.
+				http.Error(w, err.Error(), http.StatusGone)
+				return
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			for _, rec := range recs {
+				frames = append(frames, wal.AppendFrame(nil, wal.EncodeRecord(nil, rec)))
+				last = rec.Version
+			}
+		}
+		if len(frames) > 0 {
+			w.Header().Set("Content-Type", "application/x-domainnet-changes")
+			w.Header().Set(VersionHeader, strconv.FormatUint(last, 10))
+			for _, frame := range frames {
+				if _, err := w.Write(frame); err != nil {
+					return // follower went away
+				}
+			}
+			return
+		}
+		select {
+		case <-signal:
+		case <-deadline.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSnapshot streams the leader's full state in the persist codec. The
+// marshal runs under the server's write lock (Checkpoint), so the stream is
+// a consistent burst-boundary snapshot; the network write happens after the
+// lock is released.
+func (ld *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var buf []byte
+	var version uint64
+	err := ld.srv.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
+		version = l.Version()
+		buf = persist.Marshal(l, g)
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf) //nolint:errcheck // the response is already committed
+}

@@ -1,0 +1,308 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/serve"
+	"domainnet/internal/table"
+	"domainnet/internal/wal"
+)
+
+// newLeader builds a leader stack — WAL in a temp dir, serving layer with
+// the write-ahead hook, replication endpoints mounted — over Figure 1.
+func newLeader(t *testing.T) (*serve.Server, *Leader, *httptest.Server) {
+	t.Helper()
+	log, err := wal.Open(t.TempDir(), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	ld := NewLeader(log)
+	ld.PollTimeout = 100 * time.Millisecond
+	s := serve.NewWithOptions(datagen.Figure1Lake(),
+		domainnet.Config{Measure: domainnet.BetweennessExact, KeepSingletons: true},
+		serve.Options{OnCommit: ld.OnCommit})
+	ld.Attach(s)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ld, ts
+}
+
+func newFollower(ts *httptest.Server) *Follower {
+	return &Follower{
+		Leader:     ts.URL,
+		Config:     domainnet.Config{Measure: domainnet.BetweennessExact, KeepSingletons: true},
+		RetryDelay: 10 * time.Millisecond,
+	}
+}
+
+func addTable(t *testing.T, s *serve.Server, name string) uint64 {
+	t.Helper()
+	v, err := s.Apply([]*table.Table{
+		table.New(name).AddColumn("animal", "jaguar", "lion-"+name),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func body(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func TestBootstrapAndCatchUp(t *testing.T) {
+	leader, _, ts := newLeader(t)
+	ctx := context.Background()
+
+	f := newFollower(ts)
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != leader.Version() {
+		t.Fatalf("bootstrap version %d, leader at %d", f.Version(), leader.Version())
+	}
+
+	// Mutations after bootstrap arrive through the change feed.
+	addTable(t, leader, "cars")
+	want := addTable(t, leader, "cities")
+	n, err := f.Poll(ctx)
+	if err != nil || n != 2 {
+		t.Fatalf("Poll applied %d bursts, err %v; want 2", n, err)
+	}
+	if f.Version() != want {
+		t.Fatalf("follower at %d, leader at %d", f.Version(), want)
+	}
+
+	// The replica serves identical rankings at the same version.
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+	if l, r := body(t, ts.URL+"/topk?k=25"), body(t, fts.URL+"/topk?k=25"); l != r {
+		t.Errorf("follower /topk diverges from leader:\nleader: %s\nfollower: %s", l, r)
+	}
+	if l, r := body(t, ts.URL+"/score?value=jaguar"), body(t, fts.URL+"/score?value=jaguar"); l != r {
+		t.Errorf("follower /score diverges from leader:\nleader: %s\nfollower: %s", l, r)
+	}
+}
+
+func TestPollAppliesRemovals(t *testing.T) {
+	leader, _, ts := newLeader(t)
+	ctx := context.Background()
+	f := newFollower(ts)
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	addTable(t, leader, "doomed")
+	if _, err := leader.Apply(nil, []string{"doomed"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Poll(ctx); err != nil || n != 2 {
+		t.Fatalf("Poll = %d, %v; want 2 bursts", n, err)
+	}
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+	if got := body(t, fts.URL+"/score?value=lion-doomed"); !strings.Contains(got, `"found": false`) {
+		t.Errorf("removed table's value survives on the follower: %s", got)
+	}
+}
+
+func TestLongPollWakesOnCommit(t *testing.T) {
+	leader, ld, ts := newLeader(t)
+	ld.PollTimeout = 10 * time.Second // force the wake-up path, not the timeout
+	f := newFollower(ts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		n, err := f.Poll(context.Background())
+		if err == nil && n != 1 {
+			err = fmt.Errorf("applied %d bursts, want 1", n)
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	addTable(t, leader, "wakeup")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll did not wake on commit")
+	}
+}
+
+func TestBehindHorizonFallsBackToSnapshot(t *testing.T) {
+	log, err := wal.Open(t.TempDir(), wal.Options{NoSync: true, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	ld := NewLeader(log)
+	ld.PollTimeout = 100 * time.Millisecond
+	// A tiny tail ring: the records bridging the follower's version must
+	// age out of memory too, or the ring would (correctly) bridge the
+	// truncated log and the horizon path would never run.
+	ld.TailCache = 2
+	leader := serve.NewWithOptions(datagen.Figure1Lake(),
+		domainnet.Config{Measure: domainnet.BetweennessExact, KeepSingletons: true},
+		serve.Options{OnCommit: ld.OnCommit})
+	ld.Attach(leader)
+	ts := httptest.NewServer(leader)
+	defer ts.Close()
+
+	f := newFollower(ts)
+	ctx := context.Background()
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stale := f.Version()
+
+	// The leader advances and truncates its log past the follower's
+	// version (tiny segments make every burst its own segment).
+	for i := 0; i < 6; i++ {
+		addTable(t, leader, fmt.Sprintf("ahead%d", i))
+	}
+	if err := log.Truncate(leader.Version()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.ReadFrom(stale); !errors.Is(err, wal.ErrGap) {
+		t.Fatalf("test setup: log still bridges version %d", stale)
+	}
+
+	if _, err := f.Poll(ctx); !errors.Is(err, ErrBehindHorizon) {
+		t.Fatalf("Poll behind the horizon = %v, want ErrBehindHorizon", err)
+	}
+
+	// Run's recovery loop: one cycle re-bootstraps and converges.
+	ctx2, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	go f.Run(ctx2) //nolint:errcheck // returns ctx.Err on cancel
+	for f.Version() != leader.Version() && ctx2.Err() == nil {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.Version() != leader.Version() {
+		t.Fatalf("follower stuck at %d, leader at %d", f.Version(), leader.Version())
+	}
+	cancel()
+}
+
+func TestEmptyLogBehindFollowerGetsGone(t *testing.T) {
+	// A leader whose WAL is empty (fresh directory) but whose served state
+	// is already past the follower's version has no deltas to bridge the
+	// gap: the feed must answer 410 so the follower re-bootstraps, not
+	// park it on 204s serving stale data forever.
+	_, _, ts := newLeader(t) // Figure 1: version 4, no commits logged yet
+	resp, err := http.Get(ts.URL + "/repl/changes?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("changes?from=2 against an empty log at version 4 = %d, want 410", resp.StatusCode)
+	}
+	// At the served version the same empty log means genuinely caught up:
+	// the poll parks and times out with 204.
+	resp, err = http.Get(ts.URL + "/repl/changes?from=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("changes?from=4 (caught up) = %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestAheadOfLeaderHistoryDiverges(t *testing.T) {
+	// A replica whose version exceeds everything the leader ever committed
+	// (the leader lost its WAL + snapshot and restarted) must be told to
+	// re-bootstrap, not parked on a feed that would later hand it deltas
+	// from an unrelated history with coincidentally matching stamps.
+	leader, _, ts := newLeader(t)
+	ctx := context.Background()
+	f := newFollower(ts)
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Push the replica ahead of the leader behind replication's back.
+	if _, err := f.Server().Apply([]*table.Table{
+		table.New("phantom").AddColumn("c", "v"),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() <= leader.Version() {
+		t.Fatal("test setup: follower not ahead")
+	}
+	if _, err := f.Poll(ctx); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Poll while ahead of the leader = %v, want ErrDiverged", err)
+	}
+	// Run's recovery downgrades the replica to the leader's history.
+	ctx2, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	go f.Run(ctx2) //nolint:errcheck // returns ctx.Err on cancel
+	for f.Version() != leader.Version() && ctx2.Err() == nil {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.Version() != leader.Version() {
+		t.Fatalf("replica stuck at %d, leader at %d", f.Version(), leader.Version())
+	}
+}
+
+func TestFollowerServesReadOnly(t *testing.T) {
+	_, _, ts := newLeader(t)
+	f := newFollower(ts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, fts.URL+"/tables/animals", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("DELETE on follower = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestServeHTTPBeforeBootstrap(t *testing.T) {
+	f := &Follower{Leader: "http://127.0.0.1:0"}
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+	resp, err := http.Get(fts.URL + "/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("read before bootstrap = %d, want 503", resp.StatusCode)
+	}
+}

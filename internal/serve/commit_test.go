@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/lake"
+	"domainnet/internal/persist"
+	"domainnet/internal/table"
+)
+
+func pairTable(prefix string, i int) *table.Table {
+	return table.New(fmt.Sprintf("%s%d", prefix, i)).
+		AddColumn("animal", "jaguar", fmt.Sprintf("beast-%s-%d", prefix, i))
+}
+
+// TestOnCommitSeesBurstBeforeApply pins the write-ahead contract: the hook
+// observes the burst with correct version stamps before the lake changes,
+// and the stamped post-version matches what the lake actually reaches.
+func TestOnCommitSeesBurstBeforeApply(t *testing.T) {
+	l := datagen.Figure1Lake()
+	var committed []Mutation
+	var versionAtHook []uint64
+	s := NewWithOptions(l, domainnet.Config{Measure: domainnet.DegreeBaseline}, Options{
+		OnCommit: func(m Mutation) error {
+			committed = append(committed, m)
+			versionAtHook = append(versionAtHook, l.Version())
+			return nil
+		},
+	})
+
+	v1, err := s.Apply([]*table.Table{pairTable("a", 0), pairTable("b", 0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Apply([]*table.Table{pairTable("a", 1)}, []string{"a0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(committed) != 2 {
+		t.Fatalf("OnCommit ran %d times, want 2", len(committed))
+	}
+	if committed[0].Version != v1 || committed[1].Version != v2 {
+		t.Errorf("stamped versions %d,%d; lake reached %d,%d",
+			committed[0].Version, committed[1].Version, v1, v2)
+	}
+	for i, m := range committed {
+		if versionAtHook[i] != m.PrevVersion {
+			t.Errorf("burst %d: hook ran at lake version %d, record claims PrevVersion %d (hook must run pre-apply)",
+				i, versionAtHook[i], m.PrevVersion)
+		}
+		if m.Version-m.PrevVersion != uint64(len(m.Add)+len(m.Remove)) {
+			t.Errorf("burst %d: versions %d→%d for %d mutations",
+				i, m.PrevVersion, m.Version, len(m.Add)+len(m.Remove))
+		}
+	}
+	if committed[1].Remove[0] != "a0" || committed[1].Add[0].Name != "a1" {
+		t.Errorf("burst content = %+v", committed[1])
+	}
+}
+
+// TestOnCommitErrorAbortsBurst: a failed write-ahead append must leave the
+// lake untouched — acknowledging a mutation the log lost would be exactly
+// the durability hole the WAL exists to close.
+func TestOnCommitErrorAbortsBurst(t *testing.T) {
+	l := datagen.Figure1Lake()
+	boom := errors.New("disk full")
+	fail := true
+	s := NewWithOptions(l, domainnet.Config{Measure: domainnet.DegreeBaseline}, Options{
+		OnCommit: func(Mutation) error {
+			if fail {
+				return boom
+			}
+			return nil
+		},
+	})
+	before := s.Version()
+
+	if _, err := s.Apply([]*table.Table{pairTable("x", 0)}, nil); !errors.Is(err, boom) {
+		t.Fatalf("Apply with failing OnCommit = %v, want %v", err, boom)
+	}
+	if s.Version() != before {
+		t.Errorf("version moved %d→%d despite aborted commit", before, s.Version())
+	}
+	for _, tb := range l.Tables() {
+		if tb.Name == "x0" {
+			t.Error("aborted burst's table reached the lake")
+		}
+	}
+
+	// The same burst succeeds once the log recovers.
+	fail = false
+	if _, err := s.Apply([]*table.Table{pairTable("x", 0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyRejectsHTTPMutations(t *testing.T) {
+	s := NewWithOptions(datagen.Figure1Lake(),
+		domainnet.Config{Measure: domainnet.DegreeBaseline}, Options{ReadOnly: true})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if resp := do(t, "POST", ts.URL+"/tables/newt", strings.NewReader("animal\njaguar\n")); resp.StatusCode != 403 {
+		t.Errorf("POST /tables/{name} on follower = %d, want 403", resp.StatusCode)
+	}
+	if resp := do(t, "POST", ts.URL+"/tables", nil); resp.StatusCode != 403 {
+		t.Errorf("POST /tables on follower = %d, want 403", resp.StatusCode)
+	}
+	if resp := do(t, "DELETE", ts.URL+"/tables/animals", nil); resp.StatusCode != 403 {
+		t.Errorf("DELETE on follower = %d, want 403", resp.StatusCode)
+	}
+
+	// Reads still serve, and the replication path (direct Apply) still
+	// mutates.
+	getJSON(t, ts.URL+"/topk?k=1", 200)
+	if _, err := s.Apply([]*table.Table{pairTable("repl", 0)}, nil); err != nil {
+		t.Fatalf("direct Apply on read-only server: %v", err)
+	}
+}
+
+// TestCheckpointNeverTearsBurst hammers Checkpoint against concurrent
+// multi-table bursts (run under -race in CI). Every checkpointed state must
+// sit on a burst boundary: the version fn observes equals the lake's, the
+// marshaled snapshot must decode at that same version, and each burst's
+// table pair appears either completely or not at all.
+func TestCheckpointNeverTearsBurst(t *testing.T) {
+	s := New(datagen.Figure1Lake(), domainnet.Config{Measure: domainnet.DegreeBaseline})
+
+	const writers, bursts = 4, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < bursts; i++ {
+				id := w*bursts + i
+				// One atomic burst = a pair of tables that must only ever
+				// be visible together.
+				if _, err := s.Apply([]*table.Table{pairTable("left", id), pairTable("right", id)}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	checkpointed := 0
+	for {
+		select {
+		case <-done:
+			if checkpointed == 0 {
+				t.Fatal("no checkpoint ran during the mutation storm")
+			}
+			return
+		default:
+		}
+		var buf []byte
+		var seen uint64
+		err := s.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
+			seen = l.Version()
+			if g == nil {
+				return errors.New("checkpoint saw nil graph")
+			}
+			buf = persist.Marshal(l, g)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, err := persist.Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("checkpointed bytes do not decode: %v", err)
+		}
+		if sn.Lake.Version() != seen {
+			t.Fatalf("checkpoint torn: fn saw version %d, snapshot decodes at %d", seen, sn.Lake.Version())
+		}
+		half := make(map[string]bool)
+		for _, tb := range sn.Lake.Tables() {
+			if id, ok := strings.CutPrefix(tb.Name, "left"); ok {
+				half[id] = !half[id]
+			}
+			if id, ok := strings.CutPrefix(tb.Name, "right"); ok {
+				half[id] = !half[id]
+			}
+		}
+		for id, odd := range half {
+			if odd {
+				t.Fatalf("checkpoint at version %d tore burst %s: one table of the pair is missing", seen, id)
+			}
+		}
+		checkpointed++
+	}
+}

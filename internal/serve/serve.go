@@ -57,6 +57,8 @@ var (
 type Server struct {
 	cfg          domainnet.Config // base detector config; Measure is the default
 	afterPublish func(version uint64)
+	onCommit     func(Mutation) error
+	readOnly     bool
 
 	writeMu sync.Mutex // serializes lake mutations and snapshot swaps
 	lake    *lake.Lake // guarded by writeMu
@@ -85,6 +87,31 @@ type Options struct {
 	// the write path with the write lock held: keep it non-blocking — e.g.
 	// a non-blocking send to a checkpointing goroutine.
 	AfterPublish func(version uint64)
+	// OnCommit, when non-nil, runs under the write lock after a mutation
+	// burst has been validated but before any of it is applied — the
+	// write-ahead hook. An error aborts the burst with the lake untouched,
+	// so a failed log append never acknowledges a mutation that would be
+	// lost on crash. It runs on the write path: keep it bounded (a local
+	// WAL append + fsync, not a network round trip).
+	OnCommit func(Mutation) error
+	// ReadOnly rejects the HTTP mutation endpoints (POST/DELETE /tables…)
+	// with 403, for replication followers whose lake must change only
+	// through the leader's change feed. Direct Apply calls — the follower's
+	// own replication path — still work.
+	ReadOnly bool
+}
+
+// Mutation describes one validated, not-yet-applied mutation burst: the
+// tables about to be removed and added under one write-lock acquisition,
+// with the lake version it applies on top of (PrevVersion) and the version
+// it will produce (Version — the lake bumps once per removed and once per
+// added table). Options.OnCommit receives it; internal/repl's leader turns
+// it into a wal.Record.
+type Mutation struct {
+	PrevVersion uint64
+	Version     uint64
+	Add         []*table.Table
+	Remove      []string
 }
 
 // snapshot is one immutable published version of the served state. The
@@ -129,7 +156,8 @@ func New(l *lake.Lake, cfg domainnet.Config) *Server {
 // published without any graph construction.
 func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	l.Workers = cfg.Workers
-	s := &Server{cfg: cfg, lake: l, afterPublish: opts.AfterPublish}
+	s := &Server{cfg: cfg, lake: l, afterPublish: opts.AfterPublish,
+		onCommit: opts.OnCommit, readOnly: opts.ReadOnly}
 	if g := opts.Graph; g != nil && g.KeepsSingletons() == cfg.KeepSingletons {
 		s.publishGraph(g)
 	} else {
@@ -149,6 +177,12 @@ func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handle registers an additional handler on the server's mux — the
+// replication endpoints (internal/repl) mount themselves here so leader and
+// follower traffic share one listener. Register handlers before the server
+// starts receiving requests.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Version reports the currently served snapshot version.
 func (s *Server) Version() uint64 { return s.snap.Load().version }
@@ -380,7 +414,18 @@ func (s *Server) Apply(add []*table.Table, remove []string) (uint64, error) {
 			}
 			present[t.Name] = true
 		}
-		// All checks passed; none of the mutations below can fail.
+		// All checks passed; none of the mutations below can fail. Commit
+		// the burst to the write-ahead hook first: each removal and each add
+		// bumps the lake version exactly once, so the post-burst version is
+		// known before anything is applied, and an append failure aborts
+		// with the lake untouched.
+		if s.onCommit != nil {
+			m := Mutation{PrevVersion: s.lake.Version(), Add: add, Remove: remove}
+			m.Version = m.PrevVersion + uint64(len(add)+len(remove))
+			if err := s.onCommit(m); err != nil {
+				return fmt.Errorf("commit log: %w", err)
+			}
+		}
 		for _, name := range remove {
 			s.lake.RemoveTable(name)
 		}
@@ -393,7 +438,19 @@ func (s *Server) Apply(add []*table.Table, remove []string) (uint64, error) {
 	})
 }
 
+// rejectReadOnly writes the follower-mode 403 and reports whether the
+// request was rejected.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if s.readOnly {
+		writeError(w, http.StatusForbidden, "read-only replica: send mutations to the leader")
+	}
+	return s.readOnly
+}
+
 func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxUpload))
 	if err != nil {
@@ -417,6 +474,9 @@ func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 // one CSV file per part, table-named by the part's filename (without the
 // .csv extension) or form field name — and publishes exactly once.
 func (s *Server) handleBatchAdd(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	mediaType, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if err != nil || !strings.HasPrefix(mediaType, "multipart/") {
 		writeError(w, http.StatusBadRequest,
@@ -471,6 +531,9 @@ func (s *Server) handleBatchAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	version, err := s.Apply(nil, []string{name})
 	if err != nil {
