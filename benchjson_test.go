@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -302,6 +303,80 @@ func TestEmitBenchJSON(t *testing.T) {
 				for _, t := range add {
 					prev = append(prev, t.Name)
 				}
+			}
+		}},
+		{"topk_cold_after_mutation_sb", func(b *testing.B) {
+			// The post-mutation read-latency cliff the warmer exists to
+			// remove: a graph-changing publish discards every warm detector,
+			// so the first /topk afterwards pays the full exact-betweenness
+			// recompute on its own request goroutine. Each iteration mutates
+			// (untimed) and times that first cold read through the HTTP path.
+			churn := datagen.NewSB(1)
+			srv := serve.New(churn.Lake, domainnet.Config{Measure: domainnet.BetweennessExact})
+			orig := churn.Lake.Tables()[0]
+			variant := table.New(orig.Name)
+			for _, col := range orig.Columns {
+				variant.AddColumn(col.Name, col.Values...)
+			}
+			variant.Columns[0].Values = append(
+				append([]string(nil), variant.Columns[0].Values...), "churn-variant")
+			variants := [2]*table.Table{orig, variant}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if _, err := srv.Apply([]*table.Table{variants[(i+1)%2]}, []string{orig.Name}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/topk?k=10", nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("cold /topk = %d", rec.Code)
+				}
+			}
+		}},
+		{"topk_warm_after_mutation_sb", func(b *testing.B) {
+			// The same first-read-after-mutation with the background warmer
+			// on: the mutation publishes, the warmer precomputes the ranking
+			// off the request path, and the read finds a warm cache. The gap
+			// against topk_cold_after_mutation_sb is the serving-latency win;
+			// the recompute still happens, but as bounded background cost.
+			churn := datagen.NewSB(1)
+			srv := serve.NewWithOptions(churn.Lake,
+				domainnet.Config{Measure: domainnet.BetweennessExact},
+				serve.Options{WarmMeasures: []domainnet.Measure{domainnet.BetweennessExact}})
+			defer srv.Close()
+			waitWarm := func(n int64) {
+				deadline := time.Now().Add(2 * time.Minute)
+				for srv.WarmStats().Completed < n {
+					if time.Now().After(deadline) {
+						b.Fatalf("warm %d never completed; stats = %+v", n, srv.WarmStats())
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			waitWarm(1)
+			orig := churn.Lake.Tables()[0]
+			variant := table.New(orig.Name)
+			for _, col := range orig.Columns {
+				variant.AddColumn(col.Name, col.Values...)
+			}
+			variant.Columns[0].Values = append(
+				append([]string(nil), variant.Columns[0].Values...), "churn-variant")
+			if _, err := srv.Apply([]*table.Table{variant}, []string{orig.Name}); err != nil {
+				b.Fatal(err)
+			}
+			waitWarm(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/topk?k=10", nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("warm /topk = %d", rec.Code)
+				}
+			}
+			if srv.WarmStats().Misses != 0 {
+				b.Fatal("warm stage read a cold detector; the comparison is void")
 			}
 		}},
 		{"brandes_exact_sb", func(b *testing.B) {

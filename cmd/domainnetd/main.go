@@ -8,7 +8,8 @@
 //	           [-snapshot lake.snapshot] [-checkpoint-every 0] [-wal path/to/wal]
 //	           [-follow http://leader:8080]
 //	           [-measure bc|bc-exact|bc-eps|lcc|lcc-attr|degree|harmonic]
-//	           [-samples 0] [-seed 1] [-workers 0] [-keep-singletons]
+//	           [-warm-measures bc,lcc] [-samples 0] [-seed 1] [-workers 0]
+//	           [-keep-singletons]
 //
 // Endpoints:
 //
@@ -16,6 +17,7 @@
 //	GET    /score?value=jaguar     one value's score (normalized lookup)
 //	GET    /stats                  lake and graph statistics + version
 //	GET    /scorers                available measures
+//	GET    /metrics                warmer counters + per-endpoint latency
 //	POST   /tables                 batch-add tables (multipart, CSV per part)
 //	POST   /tables/{name}          add a table (request body: CSV)
 //	DELETE /tables/{name}          remove a table
@@ -34,6 +36,11 @@
 // power failure; each successful checkpoint truncates the segments it made
 // obsolete. Without -wal, a crash loses the mutations since the last
 // checkpoint; without either flag, the lake is memory-only.
+//
+// Pre-warming: with -warm-measures, every publish schedules a background
+// precompute of the listed measures on the new snapshot (a newer publish
+// cancels the superseded warm), so the first read after a mutation does not
+// pay the centrality recompute inline; GET /metrics shows the counters.
 //
 // Replication: -wal also enables the leader endpoints under /repl/.
 // A replica runs `domainnetd -follow http://leader:8080`: it bootstraps from
@@ -79,6 +86,7 @@ type config struct {
 	follow          string
 	checkpointEvery int
 	measure         domainnet.Measure
+	warmMeasures    []domainnet.Measure
 	samples         int
 	seed            int64
 	workers         int
@@ -91,7 +99,7 @@ type config struct {
 // worse than one that refuses to start.
 func parseFlags(args []string) (*config, error) {
 	c := &config{}
-	var measure string
+	var measure, warmMeasures string
 	fs := flag.NewFlagSet("domainnetd", flag.ContinueOnError)
 	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&c.dir, "dir", "", "directory of CSV tables to pre-load (ignored when -snapshot exists; empty starts an empty lake)")
@@ -101,6 +109,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.walDir, "wal", "", "write-ahead log directory: fsync every mutation burst before acknowledging it, replay on startup, serve /repl/ to followers")
 	fs.StringVar(&c.follow, "follow", "", "run as a read-only replica of the leader at this base URL (conflicts with the mutation/durability flags)")
 	fs.StringVar(&measure, "measure", "bc", "default scoring measure")
+	fs.StringVar(&warmMeasures, "warm-measures", "", "comma-separated measures to pre-warm in the background after every publish (empty disables the warmer)")
 	fs.IntVar(&c.samples, "samples", 0, "approximate-BC sample count (0 = 1% of nodes)")
 	fs.Int64Var(&c.seed, "seed", 1, "random seed for sampling")
 	fs.IntVar(&c.workers, "workers", 0, "parallelism for graph build and scoring (0 = all CPUs)")
@@ -115,6 +124,22 @@ func parseFlags(args []string) (*config, error) {
 			measure, strings.Join(domainnet.MeasureNames(), ", "))
 	}
 	c.measure = m
+	if warmMeasures != "" {
+		seen := make(map[domainnet.Measure]bool)
+		for _, name := range strings.Split(warmMeasures, ",") {
+			name = strings.TrimSpace(name)
+			wm, ok := domainnet.ParseMeasure(name)
+			if !ok {
+				return nil, fmt.Errorf("-warm-measures: unknown measure %q (valid: %s)",
+					name, strings.Join(domainnet.MeasureNames(), ", "))
+			}
+			if seen[wm] {
+				continue // "bc,bc" warms once, not twice
+			}
+			seen[wm] = true
+			c.warmMeasures = append(c.warmMeasures, wm)
+		}
+	}
 	if c.checkpointEvery < 0 {
 		return nil, fmt.Errorf("-checkpoint-every must be non-negative, got %d", c.checkpointEvery)
 	}
@@ -326,6 +351,7 @@ func runLeader(ctx context.Context, c *config, stop func()) error {
 	ckpt := make(chan struct{}, 1)
 	var opts serve.Options
 	opts.Graph = warmGraph
+	opts.WarmMeasures = c.warmMeasures
 	if leader != nil {
 		opts.OnCommit = leader.OnCommit
 	}
@@ -402,16 +428,18 @@ func runLeader(ctx context.Context, c *config, stop func()) error {
 	if err != nil {
 		return err
 	}
+	s.Close()              // stop any in-flight warm; the checkpoint needs the CPU
 	checkpoint("shutdown") //nolint:errcheck // logged inside; nothing left to retry
 	return nil
 }
 
 func runFollower(ctx context.Context, c *config, stop func()) error {
 	f := &repl.Follower{
-		Leader: strings.TrimRight(c.follow, "/"),
-		Config: c.detectorConfig(),
-		Client: &http.Client{Timeout: repl.DefaultPollTimeout + 15*time.Second},
-		Logf:   log.Printf,
+		Leader:       strings.TrimRight(c.follow, "/"),
+		Config:       c.detectorConfig(),
+		WarmMeasures: c.warmMeasures,
+		Client:       &http.Client{Timeout: repl.DefaultPollTimeout + 15*time.Second},
+		Logf:         log.Printf,
 	}
 	go f.Run(ctx) //nolint:errcheck // exits with ctx; errors are logged via Logf
 	return serveUntilShutdown(ctx, c, stop, f,

@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"domainnet/internal/domainnet"
 )
 
 // TestMain doubles as the daemon entry point for the process-level tests:
@@ -50,6 +52,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"follow with dir", []string{"-follow", "http://leader:8080", "-dir", "csvs"}, false},
 		{"follow with snapshot", []string{"-follow", "http://leader:8080", "-snapshot", "x.snap"}, false},
 		{"follow with wal", []string{"-follow", "http://leader:8080", "-wal", "waldir"}, false},
+		{"warm measures", []string{"-warm-measures", "bc,lcc"}, true},
+		{"warm measures with follow", []string{"-follow", "http://leader:8080", "-warm-measures", "bc"}, true},
+		{"warm measures unknown", []string{"-warm-measures", "bc,pagerank"}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -61,6 +66,26 @@ func TestParseFlagsValidation(t *testing.T) {
 				t.Fatalf("parseFlags(%v) succeeded, want an error", tc.args)
 			}
 		})
+	}
+}
+
+func TestParseWarmMeasures(t *testing.T) {
+	c, err := parseFlags([]string{"-warm-measures", " bc, lcc ,bc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spellings are trimmed and duplicates collapse: each measure warms once.
+	want := []domainnet.Measure{domainnet.BetweennessApprox, domainnet.LCC}
+	if len(c.warmMeasures) != len(want) {
+		t.Fatalf("warmMeasures = %v, want %v", c.warmMeasures, want)
+	}
+	for i := range want {
+		if c.warmMeasures[i] != want[i] {
+			t.Fatalf("warmMeasures[%d] = %v, want %v", i, c.warmMeasures[i], want[i])
+		}
+	}
+	if c, err = parseFlags(nil); err != nil || c.warmMeasures != nil {
+		t.Fatalf("default warmMeasures = %v (err %v), want none", c.warmMeasures, err)
 	}
 }
 

@@ -131,7 +131,7 @@ func normalize(bc []float64, n int) {
 // worker owns one pooled arena and one partial result vector, so total
 // scratch is O(workers·n) regardless of the source count.
 func accumulate(g Graph, sources []int32, opts engine.Opts, scale float64) []float64 {
-	return engine.ShardSum(opts.Workers, g.NumNodes(), len(sources),
+	return engine.ShardSumCtx(opts.Context(), opts.Workers, g.NumNodes(), len(sources),
 		func(a *engine.Arena, lo, hi int, out []float64) {
 			brandesShard(g, sources[lo:hi], opts, scale, a, out)
 		})
@@ -151,6 +151,12 @@ func brandesShard(g Graph, sources []int32, opts engine.Opts, scale float64, a *
 
 	dist, sigma, delta := a.Dist, a.Sigma, a.Delta
 	for _, s := range sources {
+		// Cancellation is polled once per source: each source is a whole BFS
+		// plus a reverse pass, so the check is off the inner loops, and a
+		// cancelled warm abandons the shard between traversals.
+		if opts.Cancelled() {
+			return
+		}
 		// Reset only the nodes the previous source touched.
 		a.ResetTouched()
 

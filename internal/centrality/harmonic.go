@@ -16,10 +16,13 @@ import (
 func Harmonic(g Graph, opts engine.Opts) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
-	engine.Parallel(opts.EffectiveWorkers(n), n, func(_, lo, hi int) {
+	engine.ParallelCtx(opts.Context(), opts.EffectiveWorkers(n), n, func(_, lo, hi int) {
 		a := engine.AcquireArena(n)
 		defer a.Release()
 		for s := lo; s < hi; s++ {
+			if opts.Cancelled() {
+				return
+			}
 			out[s] = harmonicFromSource(g, int32(s), a)
 		}
 	})
@@ -69,15 +72,18 @@ func ApproxHarmonic(g Graph, opts engine.Opts) []float64 {
 		sources[i] = int32(perm[i])
 	}
 	scale := float64(n) / float64(samples)
-	return engine.ShardSum(opts.Workers, n, samples,
+	return engine.ShardSumCtx(opts.Context(), opts.Workers, n, samples,
 		func(a *engine.Arena, lo, hi int, out []float64) {
-			approxHarmonicShard(g, sources[lo:hi], scale, a, out)
+			approxHarmonicShard(g, sources[lo:hi], scale, opts, a, out)
 		})
 }
 
-func approxHarmonicShard(g Graph, sources []int32, scale float64, a *engine.Arena, out []float64) {
+func approxHarmonicShard(g Graph, sources []int32, scale float64, opts engine.Opts, a *engine.Arena, out []float64) {
 	dist := a.Dist
 	for _, s := range sources {
+		if opts.Cancelled() {
+			return
+		}
 		a.ResetTouched()
 		dist[s] = 1
 		a.Queue = append(a.Queue, s)

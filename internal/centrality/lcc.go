@@ -83,11 +83,20 @@ func lccBySignature(g Bipartite, attrJaccard bool, opts engine.Opts) []float64 {
 	workers := opts.EffectiveWorkers(len(sigs))
 
 	// Per-signature neighbor union M_S, computed independently per signature.
-	engine.Parallel(workers, len(sigs), func(_, lo, hi int) {
+	engine.ParallelCtx(opts.Context(), workers, len(sigs), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if opts.Cancelled() {
+				return
+			}
 			sigs[i].union = unionOfAttrs(g, sigs[i].attrs)
 		}
 	})
+	if opts.Cancelled() {
+		// Some unions are missing; the coefficient pass below would read nil
+		// slices as empty sets and score nonsense. The caller discards the
+		// result anyway, so stop here.
+		return out
+	}
 
 	// Attribute -> signatures containing it, to enumerate interacting pairs.
 	sigsAt := make(map[int32][]int, g.NumNodes()-nVal)
@@ -118,7 +127,7 @@ func lccBySignature(g Bipartite, attrJaccard bool, opts engine.Opts) []float64 {
 	// trading a little duplicated work at shard boundaries for zero locking.
 	type pairKey struct{ a, b int }
 	lccOfSig := make([]float64, len(sigs))
-	engine.Parallel(workers, len(sigs), func(_, lo, hi int) {
+	engine.ParallelCtx(opts.Context(), workers, len(sigs), func(_, lo, hi int) {
 		pairC := make(map[pairKey]float64)
 		seen := make(map[int]struct{})
 		cachedCoeff := func(i, j int) float64 {
@@ -134,6 +143,9 @@ func lccBySignature(g Bipartite, attrJaccard bool, opts engine.Opts) []float64 {
 			return c
 		}
 		for i := lo; i < hi; i++ {
+			if opts.Cancelled() {
+				return
+			}
 			s := sigs[i]
 			nNeighbors := len(s.union) - 1
 			if nNeighbors <= 0 {

@@ -64,6 +64,11 @@ func ApproxBetweennessEpsilon(g Graph, opts engine.Opts) []float64 {
 	inc := 1.0 / float64(r)
 
 	for i := 0; i < r; i++ {
+		// One cancellation poll per sampled pair — each pair costs a (often
+		// truncated) BFS, so this is the between-pivots granularity.
+		if opts.Cancelled() {
+			return out
+		}
 		// Sample an ordered pair of *distinct* nodes; skipping equal pairs
 		// while still counting them in r would deflate every estimate by a
 		// factor (n-1)/n.

@@ -4,6 +4,7 @@ package domainnet
 // empty lakes, absent values, and the registry wiring of every measure.
 
 import (
+	"context"
 	"testing"
 
 	"domainnet/internal/datagen"
@@ -118,7 +119,7 @@ func TestScoresDispatchMatchesDirectCall(t *testing.T) {
 	for _, m := range allMeasures {
 		cfg := Config{Measure: m, Seed: 7, Samples: 5, Epsilon: 0.1}
 		det := FromGraph(g, cfg)
-		direct := engine.MustLookup(m.String()).Score(g, cfg.engineOpts())
+		direct := engine.MustLookup(m.String()).Score(g, cfg.engineOpts(context.Background()))
 		got := det.Scores()
 		if len(got) != len(direct) {
 			t.Fatalf("%v: score length %d != %d", m, len(got), len(direct))

@@ -14,6 +14,7 @@
 package domainnet
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -160,6 +161,12 @@ type Config struct {
 // the first caller per cache computes, later callers share the result. A
 // Detector never observes lake mutations — Update derives a successor
 // snapshot incrementally instead.
+//
+// The latches are retry-safe rather than sync.Once: ScoresContext and
+// RankingContext accept a context, and a computation cancelled mid-flight
+// leaves the cache empty (never a partial result), so the next caller —
+// cancellable or not — computes from scratch. Warm is the background
+// precompute entry point built on them.
 type Detector struct {
 	cfg   Config
 	graph *bipartite.Graph
@@ -168,10 +175,18 @@ type Detector struct {
 	// readers may be calling Version concurrently.
 	version atomic.Uint64
 
-	scoreOnce sync.Once
+	// Each cache is a (mutex, done-flag, value) latch. done is set with
+	// release semantics after the value write and checked with acquire
+	// semantics on the fast path, so lock-free readers observe a fully
+	// written slice; the mutex serializes the (at most one at a time)
+	// computations and the retries after a cancellation.
+	scoreMu   sync.Mutex
+	scoreDone atomic.Bool
 	scores    []float64
-	rankOnce  sync.Once
-	ranking   []rank.Scored
+
+	rankMu   sync.Mutex
+	rankDone atomic.Bool
+	ranking  []rank.Scored
 }
 
 // New builds the DomainNet graph of a lake (pipeline step 1). Construction
@@ -226,17 +241,47 @@ func (d *Detector) Graph() *bipartite.Graph { return d.graph }
 // derived from the Config. Concurrent callers block on one shared
 // computation; the returned slice is shared and must not be modified.
 func (d *Detector) Scores() []float64 {
-	d.scoreOnce.Do(func() {
-		scorer, ok := engine.Lookup(d.cfg.Measure.String())
-		if !ok {
-			// Unknown measures fall back to the recommended default, matching
-			// order()'s graceful handling (and the zero-value Config).
-			scorer = engine.MustLookup(centrality.NameBetweennessApprox)
-		}
-		d.scores = scorer.Score(d.graph, d.cfg.engineOpts())
-	})
-	return d.scores
+	s, _ := d.ScoresContext(context.Background()) // background ctx: never fails
+	return s
 }
+
+// ScoresContext is Scores with cancellation: the scorer polls ctx between
+// traversal units, and a cancelled computation returns ctx's error with the
+// cache left empty — the partial result is discarded, never installed, so a
+// later call recomputes correctly. A caller that loses the latch race to an
+// in-flight computation waits for it (the wait itself is not interruptible;
+// compute slices are bounded by one traversal unit each) and then shares its
+// result.
+func (d *Detector) ScoresContext(ctx context.Context) ([]float64, error) {
+	if d.scoreDone.Load() {
+		return d.scores, nil
+	}
+	d.scoreMu.Lock()
+	defer d.scoreMu.Unlock()
+	if d.scoreDone.Load() {
+		return d.scores, nil
+	}
+	if err := ctx.Err(); err != nil { // cancelled while queued on the latch
+		return nil, err
+	}
+	scorer, ok := engine.Lookup(d.cfg.Measure.String())
+	if !ok {
+		// Unknown measures fall back to the recommended default, matching
+		// order()'s graceful handling (and the zero-value Config).
+		scorer = engine.MustLookup(centrality.NameBetweennessApprox)
+	}
+	scores := scorer.Score(d.graph, d.cfg.engineOpts(ctx))
+	if err := ctx.Err(); err != nil {
+		return nil, err // possibly partial: do not poison the cache
+	}
+	d.scores = scores
+	d.scoreDone.Store(true)
+	return scores, nil
+}
+
+// ScoresReady reports whether the score cache is already computed — the
+// serving layer's warm/cold accounting for point lookups.
+func (d *Detector) ScoresReady() bool { return d.scoreDone.Load() }
 
 // bipartiteOpts translates the Config into graph-construction options.
 func (c Config) bipartiteOpts() bipartite.Options {
@@ -247,9 +292,10 @@ func (c Config) bipartiteOpts() bipartite.Options {
 }
 
 // engineOpts translates the Config into the single options struct every
-// scorer consumes. Measure-specific defaults (sample budgets, epsilon)
-// live in the scorers themselves.
-func (c Config) engineOpts() engine.Opts {
+// scorer consumes, carrying ctx as the scorer's cancellation signal.
+// Measure-specific defaults (sample budgets, epsilon) live in the scorers
+// themselves.
+func (c Config) engineOpts(ctx context.Context) engine.Opts {
 	return engine.Opts{
 		Workers:      c.Workers,
 		Seed:         c.Seed,
@@ -258,6 +304,7 @@ func (c Config) engineOpts() engine.Opts {
 		DegreeBiased: c.DegreeBiasedSampling,
 		Epsilon:      c.Epsilon,
 		Delta:        c.Delta,
+		Ctx:          ctx,
 	}
 }
 
@@ -266,10 +313,45 @@ func (c Config) engineOpts() engine.Opts {
 // returned slice is shared across callers and must not be modified (TopK
 // hands out private copies).
 func (d *Detector) Ranking() []rank.Scored {
-	d.rankOnce.Do(func() {
-		d.ranking = rank.Values(d.graph.Values(), d.Scores(), d.cfg.Measure.order())
-	})
-	return d.ranking
+	r, _ := d.RankingContext(context.Background()) // background ctx: never fails
+	return r
+}
+
+// RankingContext is Ranking with cancellation, with the same
+// discard-on-cancel contract as ScoresContext: an abandoned computation
+// leaves the ranking cache empty for the next caller.
+func (d *Detector) RankingContext(ctx context.Context) ([]rank.Scored, error) {
+	if d.rankDone.Load() {
+		return d.ranking, nil
+	}
+	d.rankMu.Lock()
+	defer d.rankMu.Unlock()
+	if d.rankDone.Load() {
+		return d.ranking, nil
+	}
+	scores, err := d.ScoresContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r := rank.Values(d.graph.Values(), scores, d.cfg.Measure.order())
+	d.ranking = r
+	d.rankDone.Store(true)
+	return r, nil
+}
+
+// Ready reports whether the ranking (and therefore also the scores) cache is
+// already computed, i.e. a TopK call would be a pure O(k) copy. The serving
+// layer's warmer drives detectors to Ready in the background, and its
+// metrics count reads against Ready detectors as warm hits.
+func (d *Detector) Ready() bool { return d.rankDone.Load() }
+
+// Warm precomputes the detector's scores and ranking under ctx — the
+// background pre-warm entry point of the serving layer. On cancellation it
+// returns ctx's error with all caches left empty; a completed Warm makes
+// every later Scores/Ranking/TopK/Score call a cache hit.
+func (d *Detector) Warm(ctx context.Context) error {
+	_, err := d.RankingContext(ctx)
+	return err
 }
 
 // TopK returns the k best homograph candidates: an O(k) copy of the cached

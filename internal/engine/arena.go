@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Arena is the reusable per-worker scratch state of one BFS-family traversal:
 // distances, shortest-path counts, dependency accumulators, and the visit
@@ -65,8 +68,17 @@ func (a *Arena) ResetTouched() {
 // deterministic for a fixed worker count). With one effective worker the
 // shard writes into the result directly — no partial vectors, no copy.
 func ShardSum(workers, n, items int, shard func(a *Arena, lo, hi int, out []float64)) []float64 {
+	return ShardSumCtx(context.Background(), workers, n, items, shard)
+}
+
+// ShardSumCtx is ShardSum with cancellation: shards that have not started
+// when ctx is cancelled are skipped entirely, and shard functions are
+// expected to poll the same context between sources. The sum of whatever the
+// shards produced is still returned — on cancellation it is partial and the
+// caller must discard it.
+func ShardSumCtx(ctx context.Context, workers, n, items int, shard func(a *Arena, lo, hi int, out []float64)) []float64 {
 	out := make([]float64, n)
-	if items <= 0 {
+	if items <= 0 || ctx.Err() != nil {
 		return out
 	}
 	workers = Opts{Workers: workers}.EffectiveWorkers(items)
@@ -77,7 +89,7 @@ func ShardSum(workers, n, items int, shard func(a *Arena, lo, hi int, out []floa
 		return out
 	}
 	parts := make([][]float64, workers)
-	Parallel(workers, items, func(w, lo, hi int) {
+	ParallelCtx(ctx, workers, items, func(w, lo, hi int) {
 		part := make([]float64, n)
 		a := AcquireArena(n)
 		shard(a, lo, hi, part)
@@ -101,8 +113,18 @@ func ShardSum(workers, n, items int, shard func(a *Arena, lo, hi int, out []floa
 // shards run; fn receives the shard's worker index and half-open item range.
 // When only one shard results, fn runs on the calling goroutine.
 func Parallel(workers, items int, fn func(worker, lo, hi int)) int {
+	return ParallelCtx(context.Background(), workers, items, fn)
+}
+
+// ParallelCtx is Parallel with cancellation: shards whose goroutine has not
+// been launched when ctx is cancelled are never started, and the return
+// value counts only the shards that ran. Shards already running are not
+// interrupted — long-running shard functions poll the same context
+// themselves (see Opts.Cancelled) — so ParallelCtx still returns only after
+// every launched shard has finished.
+func ParallelCtx(ctx context.Context, workers, items int, fn func(worker, lo, hi int)) int {
 	workers = Opts{Workers: workers}.EffectiveWorkers(items)
-	if items <= 0 {
+	if items <= 0 || ctx.Err() != nil {
 		return 0
 	}
 	if workers == 1 {
@@ -118,7 +140,7 @@ func Parallel(workers, items int, fn func(worker, lo, hi int)) int {
 		if hi > items {
 			hi = items
 		}
-		if lo >= hi {
+		if lo >= hi || ctx.Err() != nil {
 			break
 		}
 		shards++

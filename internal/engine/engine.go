@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -57,6 +58,29 @@ type Opts struct {
 	// ValueNodeCount is the size of the value-node prefix [0, ValueNodeCount)
 	// used when EndpointsValuesOnly is set.
 	ValueNodeCount int
+	// Ctx carries cancellation into long-running scorers: the arena-backed
+	// traversal measures poll it between BFS sources, sampled paths and
+	// signature shards and return early once it is cancelled, leaving a
+	// partial result. Callers passing a cancellable Ctx must therefore check
+	// it after Score returns and discard the result on cancellation — the
+	// background pre-warm path does exactly that. Nil means never cancelled.
+	Ctx context.Context
+}
+
+// Context returns Ctx, or context.Background() when unset, so drivers can
+// always hand a non-nil context to ParallelCtx/ShardSumCtx.
+func (o Opts) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// Cancelled reports whether Ctx is set and already cancelled. Scorers call
+// it between units of work (a BFS source, a sampled path, a signature); it
+// is deliberately cheap enough for that cadence.
+func (o Opts) Cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // EffectiveWorkers resolves Workers against the number of independent work

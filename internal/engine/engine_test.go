@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -92,6 +93,40 @@ func TestParallelCoversAllItems(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestParallelCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	shards := ParallelCtx(ctx, 4, 100, func(_, lo, hi int) {
+		atomic.AddInt64(&ran, 1)
+	})
+	if shards != 0 || ran != 0 {
+		t.Fatalf("pre-cancelled ParallelCtx ran %d shards (returned %d), want 0", ran, shards)
+	}
+	if out := ShardSumCtx(ctx, 4, 8, 100, func(a *Arena, lo, hi int, out []float64) {
+		out[0] = 1
+	}); out[0] != 0 {
+		t.Fatalf("pre-cancelled ShardSumCtx ran a shard: %v", out)
+	}
+}
+
+func TestParallelCtxNilSafetyViaOpts(t *testing.T) {
+	// The zero Opts must behave as "never cancelled" everywhere.
+	var o Opts
+	if o.Cancelled() {
+		t.Error("zero Opts reports cancelled")
+	}
+	if o.Context() == nil {
+		t.Error("zero Opts yields a nil context")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o.Ctx = ctx
+	if o.Cancelled() {
+		t.Error("live context reports cancelled")
 	}
 }
 

@@ -47,6 +47,11 @@ type Follower struct {
 	Logf func(format string, args ...any)
 	// RetryDelay paces reconnection after transport errors; default 1s.
 	RetryDelay time.Duration
+	// WarmMeasures enables the replica's background ranking warmer, exactly
+	// like serve.Options.WarmMeasures on a primary: a read-only replica is
+	// the read-heavy deployment shape, so pre-warming after every applied
+	// burst is where the warmer pays off most.
+	WarmMeasures []domainnet.Measure
 
 	srv atomic.Pointer[serve.Server]
 }
@@ -128,8 +133,11 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 			sn.Graph.KeepsSingletons(), cfg.KeepSingletons)
 		cfg.KeepSingletons = sn.Graph.KeepsSingletons()
 	}
-	srv := serve.NewWithOptions(sn.Lake, cfg, serve.Options{Graph: sn.Graph, ReadOnly: true})
-	f.srv.Store(srv)
+	srv := serve.NewWithOptions(sn.Lake, cfg,
+		serve.Options{Graph: sn.Graph, ReadOnly: true, WarmMeasures: f.WarmMeasures})
+	if old := f.srv.Swap(srv); old != nil {
+		old.Close() // stop the replaced replica's in-flight warm, if any
+	}
 	f.logf("repl: bootstrapped from %s at version %d (%d tables)",
 		f.Leader, srv.Version(), sn.Lake.NumTables())
 	return nil
@@ -208,8 +216,15 @@ func (f *Follower) Poll(ctx context.Context) (int, error) {
 // leader's log horizon or diverges. During a re-bootstrap the previous
 // replica keeps serving — it is a consistent stale snapshot, which the
 // consistency model permits — and is swapped out only when the new one is
-// ready. Run returns ctx.Err().
+// ready. On exit the current replica's in-flight background warm (if any)
+// is cancelled — the replica itself keeps serving its snapshot. Run
+// returns ctx.Err().
 func (f *Follower) Run(ctx context.Context) error {
+	defer func() {
+		if s := f.srv.Load(); s != nil {
+			s.Close()
+		}
+	}()
 	delay := f.RetryDelay
 	if delay <= 0 {
 		delay = time.Second

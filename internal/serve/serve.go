@@ -15,9 +15,16 @@
 // time a request asks for them, behind the Detector's once-latches, so
 // concurrent requests for the same measure share one computation and
 // requests for other measures or other versions are not blocked by it.
+//
+// With Options.WarmMeasures set, a background warmer precomputes those
+// measures after every publish and cancels the warm of any snapshot a newer
+// publish supersedes, converting the post-mutation read-latency cliff into a
+// bounded background cost; GET /metrics exposes the warmer's counters and
+// per-endpoint latency accounting.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +37,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"domainnet/internal/bipartite"
 	"domainnet/internal/domainnet"
@@ -71,6 +79,58 @@ type Server struct {
 
 	snap atomic.Pointer[snapshot]
 	mux  *http.ServeMux
+
+	// The background ranking warmer. Every publish of a changed graph
+	// discards the previous snapshot's warm detectors, so without the warmer
+	// the first reader after any mutation pays the full centrality recompute
+	// on its own request goroutine. With WarmMeasures configured, each
+	// publish instead schedules a background precompute of those measures on
+	// the new snapshot — and cancels the in-flight warm of the snapshot it
+	// superseded, so a churn burst never stacks wasted centrality runs.
+	warmMeasures []domainnet.Measure
+	warmMu       sync.Mutex         // guards warmCtx, warmCancel and warmGate
+	warmCtx      context.Context    // scope of the in-flight warm(s), if any
+	warmCancel   context.CancelFunc // cancels warmCtx
+	// warmGate, when non-nil, runs at the start of each warm goroutine,
+	// before any scoring. It exists so tests can hold a warm in flight while
+	// they publish the snapshot that supersedes it, making cancellation
+	// assertable without timing games.
+	warmGate func(version uint64)
+
+	warmsStarted   atomic.Int64 // warms scheduled (one per publish with warming on)
+	warmsCompleted atomic.Int64 // warms that precomputed every configured measure
+	warmsCancelled atomic.Int64 // warms abandoned because a newer publish superseded them
+	warmHits       atomic.Int64 // reads served from an already-computed cache
+	coldMisses     atomic.Int64 // reads that had to compute scores/ranking inline
+
+	stats  map[string]*endpointStats // per-endpoint latency/error accounting
+	warmed []string                  // display names of warmMeasures, for /metrics
+}
+
+// endpointStats accumulates one endpoint's request accounting. All fields
+// are atomics: handlers update them concurrently and /metrics reads them
+// without coordination (the snapshot is per-field consistent, which is all
+// an operational counter needs).
+type endpointStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64 // responses with status >= 400
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (st *endpointStats) record(code int, d time.Duration) {
+	st.count.Add(1)
+	if code >= 400 {
+		st.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	st.totalNS.Add(ns)
+	for {
+		cur := st.maxNS.Load()
+		if ns <= cur || st.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 // Options extend New for warm starts and operational hooks.
@@ -99,6 +159,13 @@ type Options struct {
 	// through the leader's change feed. Direct Apply calls — the follower's
 	// own replication path — still work.
 	ReadOnly bool
+	// WarmMeasures, when non-empty, enables the background ranking warmer:
+	// after every snapshot publish (including the initial one) a goroutine
+	// precomputes these measures' scores and rankings on the new snapshot,
+	// so post-mutation reads find warm caches instead of paying the
+	// centrality recompute inline. A newer publish cancels the in-flight
+	// warm of the snapshot it supersedes (see WarmStats for the counters).
+	WarmMeasures []domainnet.Measure
 }
 
 // Mutation describes one validated, not-yet-applied mutation burst: the
@@ -116,29 +183,35 @@ type Mutation struct {
 
 // snapshot is one immutable published version of the served state. The
 // graph and stats are fixed at swap time; detectors (score/ranking caches)
-// are created lazily per measure under a short-held mutex and are themselves
-// safe for concurrent use.
+// live in a per-graph cache — snapshots published with the graph carried
+// over unchanged share one cache, so warm state (even a warm still in
+// flight) transfers to the new snapshot instead of being recomputed.
 type snapshot struct {
 	version uint64
 	stats   lake.Stats
 	graph   *bipartite.Graph
+	dc      *detCache
+}
 
+// detCache lazily creates one detector per measure over one graph. The lock
+// covers only the map access; scoring happens in the detector's own
+// once-latch, so concurrent callers of the same measure share one
+// computation.
+type detCache struct {
 	mu   sync.Mutex
 	dets map[domainnet.Measure]*domainnet.Detector
 }
 
-// detector returns the snapshot's detector for a measure, creating it on
-// first use. The lock covers only the map access; scoring happens in the
-// detector's own once-latch.
 func (sn *snapshot) detector(m domainnet.Measure, base domainnet.Config) *domainnet.Detector {
-	sn.mu.Lock()
-	defer sn.mu.Unlock()
-	d, ok := sn.dets[m]
+	dc := sn.dc
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	d, ok := dc.dets[m]
 	if !ok {
 		cfg := base
 		cfg.Measure = m
 		d = domainnet.FromGraph(sn.graph, cfg)
-		sn.dets[m] = d
+		dc.dets[m] = d
 	}
 	return d
 }
@@ -157,7 +230,12 @@ func New(l *lake.Lake, cfg domainnet.Config) *Server {
 func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	l.Workers = cfg.Workers
 	s := &Server{cfg: cfg, lake: l, afterPublish: opts.AfterPublish,
-		onCommit: opts.OnCommit, readOnly: opts.ReadOnly}
+		onCommit: opts.OnCommit, readOnly: opts.ReadOnly,
+		warmMeasures: opts.WarmMeasures,
+		stats:        make(map[string]*endpointStats)}
+	for _, m := range s.warmMeasures {
+		s.warmed = append(s.warmed, m.String())
+	}
 	if g := opts.Graph; g != nil && g.KeepsSingletons() == cfg.KeepSingletons {
 		s.publishGraph(g)
 	} else {
@@ -165,15 +243,41 @@ func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /topk", s.handleTopK)
-	mux.HandleFunc("GET /score", s.handleScore)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /scorers", s.handleScorers)
-	mux.HandleFunc("POST /tables", s.handleBatchAdd)
-	mux.HandleFunc("POST /tables/{name}", s.handleAddTable)
-	mux.HandleFunc("DELETE /tables/{name}", s.handleRemoveTable)
+	mux.HandleFunc("GET /topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("GET /score", s.instrument("score", s.handleScore))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /scorers", s.instrument("scorers", s.handleScorers))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /tables", s.instrument("batch_add", s.handleBatchAdd))
+	mux.HandleFunc("POST /tables/{name}", s.instrument("add_table", s.handleAddTable))
+	mux.HandleFunc("DELETE /tables/{name}", s.instrument("remove_table", s.handleRemoveTable))
 	s.mux = mux
 	return s
+}
+
+// instrument wraps a handler with the endpoint's latency and error
+// accounting. Registration happens at construction, before the server
+// escapes, so the stats map is never written concurrently.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	st := &endpointStats{}
+	s.stats[name] = st
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		st.record(sw.code, time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for the endpoint accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -265,20 +369,97 @@ func (s *Server) publishGraph(g *bipartite.Graph) {
 		version: s.lake.Version(),
 		stats:   stats,
 		graph:   g,
-		dets:    make(map[domainnet.Measure]*domainnet.Detector),
 	}
-	if prev != nil && g == prev.graph {
-		// Detectors are immutable; share the warm caches.
-		prev.mu.Lock()
-		for m, d := range prev.dets {
-			next.dets[m] = d
-		}
-		prev.mu.Unlock()
+	carried := prev != nil && g == prev.graph
+	if carried {
+		// Same graph, same scores: adopt the whole detector cache, warm
+		// entries and in-flight computations included.
+		next.dc = prev.dc
+	} else {
+		next.dc = &detCache{dets: make(map[domainnet.Measure]*domainnet.Detector)}
 	}
 	s.publishes.Add(1)
 	s.snap.Store(next)
+	s.scheduleWarm(next, carried)
 	if s.afterPublish != nil {
 		s.afterPublish(next.version)
+	}
+}
+
+// scheduleWarm starts the background precompute of the configured measures
+// on the just-published snapshot. A publish whose graph changed supersedes
+// the previous snapshot, so its in-flight warm (stale work) is cancelled
+// first: under churn, only the newest snapshot's warm ever runs to
+// completion. A carried publish shares the previous snapshot's detectors,
+// so its in-flight warm is still warming exactly the published state — the
+// new warm joins that warm's cancellation scope instead of restarting it
+// (on already-warm detectors it completes via the latch fast path).
+// Called with writeMu held (publishes are serialized), so schedules are
+// ordered; the goroutine itself runs outside all locks.
+func (s *Server) scheduleWarm(sn *snapshot, carried bool) {
+	if len(s.warmMeasures) == 0 {
+		return
+	}
+	s.warmMu.Lock()
+	ctx := s.warmCtx
+	if !carried || ctx == nil || ctx.Err() != nil {
+		if !carried && s.warmCancel != nil {
+			s.warmCancel()
+		}
+		// The context is parented on Background, so leaving it uncancelled
+		// when its warms simply finish leaks nothing; the next cancel (a
+		// superseding publish, or Close) or the GC reclaims it.
+		ctx, s.warmCancel = context.WithCancel(context.Background())
+		s.warmCtx = ctx
+	}
+	gate := s.warmGate
+	s.warmMu.Unlock()
+	s.warmsStarted.Add(1)
+	go func() {
+		if gate != nil {
+			gate(sn.version)
+		}
+		for _, m := range s.warmMeasures {
+			if err := sn.detector(m, s.cfg).Warm(ctx); err != nil {
+				s.warmsCancelled.Add(1)
+				return
+			}
+		}
+		s.warmsCompleted.Add(1)
+	}()
+}
+
+// Close cancels any in-flight background warm. The server stays fully
+// usable afterwards — the next publish schedules a fresh warm — so Close is
+// for shutdown paths and for followers replacing a bootstrapped server.
+func (s *Server) Close() {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	if s.warmCancel != nil {
+		s.warmCancel()
+	}
+}
+
+// WarmStats is a point-in-time reading of the warmer's counters. Started −
+// Completed − Cancelled warms are still in flight. Hits and Misses count
+// /topk and /score reads by whether the cache they needed was already
+// computed (by the warmer or an earlier read) when the request arrived.
+type WarmStats struct {
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+}
+
+// WarmStats reports the warmer's counters; see the WarmStats type.
+func (s *Server) WarmStats() WarmStats {
+	return WarmStats{
+		Started:   s.warmsStarted.Load(),
+		Completed: s.warmsCompleted.Load(),
+		Cancelled: s.warmsCancelled.Load(),
+		Hits:      s.warmHits.Load(),
+		Misses:    s.coldMisses.Load(),
 	}
 }
 
@@ -324,7 +505,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sn := s.snap.Load()
-	top := sn.detector(m, s.cfg).TopK(k)
+	d := sn.detector(m, s.cfg)
+	if d.Ready() {
+		s.warmHits.Add(1)
+	} else {
+		s.coldMisses.Add(1)
+	}
+	top := d.TopK(k)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": sn.version,
 		"measure": m.String(),
@@ -345,7 +532,13 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	v := table.Normalize(raw)
 	sn := s.snap.Load()
-	score, found := sn.detector(m, s.cfg).Score(v)
+	d := sn.detector(m, s.cfg)
+	if d.ScoresReady() { // a point lookup needs only the score cache
+		s.warmHits.Add(1)
+	} else {
+		s.coldMisses.Add(1)
+	}
+	score, found := d.Score(v)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": sn.version,
 		"measure": m.String(),
@@ -381,6 +574,48 @@ func (s *Server) handleScorers(w http.ResponseWriter, r *http.Request) {
 		"default":  s.cfg.Measure.String(),
 		"measures": domainnet.MeasureNames(),
 		"scorers":  domainnet.Scorers(),
+	})
+}
+
+// handleMetrics exposes the server's operational counters as JSON: snapshot
+// version, publish count, the warmer's lifecycle and hit/miss counters, and
+// per-endpoint request accounting (count, errors, total/avg/max latency).
+// It is the observability face of the warm pipeline: warm.cancelled rising
+// under churn is the warmer shedding superseded work, and endpoints.topk
+// max_ns collapsing after enabling WarmMeasures is the point of it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	endpoints := make(map[string]any, len(s.stats))
+	for name, st := range s.stats {
+		count := st.count.Load()
+		total := st.totalNS.Load()
+		var avg int64
+		if count > 0 {
+			avg = total / count
+		}
+		endpoints[name] = map[string]int64{
+			"count":    count,
+			"errors":   st.errors.Load(),
+			"total_ns": total,
+			"avg_ns":   avg,
+			"max_ns":   st.maxNS.Load(),
+		}
+	}
+	warmed := s.warmed
+	if warmed == nil {
+		warmed = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":   s.Version(),
+		"publishes": s.Publishes(),
+		"warm": map[string]any{
+			"measures":  warmed,
+			"started":   s.warmsStarted.Load(),
+			"completed": s.warmsCompleted.Load(),
+			"cancelled": s.warmsCancelled.Load(),
+			"hits":      s.warmHits.Load(),
+			"misses":    s.coldMisses.Load(),
+		},
+		"endpoints": endpoints,
 	})
 }
 
@@ -454,7 +689,9 @@ func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxUpload))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		// errorStatus distinguishes an oversized body (413, the reader hit
+		// the MaxBytesReader limit) from a malformed one (400).
+		writeError(w, errorStatus(err), err.Error())
 		return
 	}
 	version, err := s.Apply([]*table.Table{t}, nil)
@@ -486,22 +723,31 @@ func (s *Server) handleBatchAdd(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxUpload)
 	mr := multipart.NewReader(r.Body, params["boundary"])
 	var tables []*table.Table
-	for {
+	for partIdx := 1; ; partIdx++ {
 		part, err := mr.NextPart()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			// A body that outgrew MaxBytesReader surfaces here too: 413.
+			writeError(w, errorStatus(err), err.Error())
 			return
 		}
 		name := strings.TrimSuffix(filepath.Base(part.FileName()), filepath.Ext(part.FileName()))
 		if name == "" || name == "." {
 			name = part.FormName()
 		}
+		if name == "" || name == "." {
+			// Without a usable name this would become a table named "" and
+			// fail downstream validation with a message that never says which
+			// part was at fault. Reject it here, by position.
+			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"batch part %d has neither a filename nor a form field name to use as its table name", partIdx))
+			return
+		}
 		t, err := table.ReadCSV(name, part)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, errorStatus(err), err.Error())
 			return
 		}
 		tables = append(tables, t)
@@ -546,13 +792,19 @@ func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// errorStatus maps mutation errors to HTTP status codes.
+// errorStatus maps mutation and upload errors to HTTP status codes.
 func errorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
 	switch {
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.As(err, &tooLarge):
+		// The body hit the MaxBytesReader cap. table.ReadCSV wraps the
+		// reader's error with %w, so it unwraps to the typed limit error —
+		// an oversized upload, not a malformed one.
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
 	}

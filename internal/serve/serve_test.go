@@ -261,6 +261,112 @@ func TestBatchIngestPublishesOnce(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestOversizedUploadReturns413 sends a body just past the 64 MiB cap: the
+// MaxBytesReader limit must surface as 413 Request Entity Too Large, not be
+// misreported as a malformed-CSV 400.
+func TestOversizedUploadReturns413(t *testing.T) {
+	ts := newTestServer(t)
+
+	// A syntactically fine CSV that simply never ends before the cap.
+	row := []byte("aaaa,bbbb\n")
+	body := bytes.Repeat(row, (maxUpload+(1<<20))/len(row))
+	resp := do(t, http.MethodPost, ts.URL+"/tables/huge", bytes.NewReader(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	// The rejected upload must not have touched the lake.
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["lake"].(map[string]any)["tables"].(float64); got != 4 {
+		t.Errorf("tables after rejected upload = %v, want 4", got)
+	}
+}
+
+// TestBatchPartWithoutNameRejected covers the multipart part that carries
+// neither a filename nor a form field name: instead of building a table
+// named "" and failing downstream with an unhelpful message, the handler
+// must reject the batch naming the offending part's position.
+func TestBatchPartWithoutNameRejected(t *testing.T) {
+	ts := newTestServer(t)
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("OK", "OK.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write([]byte("a,b\nx,y\n")) //nolint:errcheck
+	// A part with no Content-Disposition name at all.
+	anon, err := mw.CreatePart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon.Write([]byte("c,d\nu,v\n")) //nolint:errcheck
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/tables", &buf)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unnamed-part batch = %d, want 400", resp.StatusCode)
+	}
+	out := decodeJSON(t, resp.Body)
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "part 2") {
+		t.Errorf("error %q does not name the offending part index", msg)
+	}
+	// All-or-nothing: the named part must not have been ingested either.
+	score := getJSON(t, ts.URL+"/score?value=x", http.StatusOK)
+	if score["found"] != false {
+		t.Error("rejected batch leaked table OK into the lake")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	getJSON(t, ts.URL+"/topk?k=2", http.StatusOK)      // cold miss
+	getJSON(t, ts.URL+"/topk?k=2", http.StatusOK)      // warm hit (cache primed)
+	getJSON(t, ts.URL+"/score", http.StatusBadRequest) // counted error
+	getJSON(t, ts.URL+"/topk?k=-1", http.StatusBadRequest)
+
+	m := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	if m["version"].(float64) != 4 || m["publishes"].(float64) != 1 {
+		t.Errorf("metrics version/publishes = %v/%v, want 4/1", m["version"], m["publishes"])
+	}
+	eps := m["endpoints"].(map[string]any)
+	topk := eps["topk"].(map[string]any)
+	if topk["count"].(float64) != 3 || topk["errors"].(float64) != 1 {
+		t.Errorf("topk count/errors = %v/%v, want 3/1", topk["count"], topk["errors"])
+	}
+	if topk["max_ns"].(float64) <= 0 || topk["total_ns"].(float64) < topk["max_ns"].(float64) {
+		t.Errorf("topk latency accounting implausible: %v", topk)
+	}
+	score := eps["score"].(map[string]any)
+	if score["count"].(float64) != 1 || score["errors"].(float64) != 1 {
+		t.Errorf("score count/errors = %v/%v, want 1/1", score["count"], score["errors"])
+	}
+	warm := m["warm"].(map[string]any)
+	// No warmer configured: lifecycle counters stay zero, but the hit/miss
+	// accounting still tracks the lazy caches (first /topk cold, second warm;
+	// the k=-1 request errors before touching a detector).
+	if warm["started"].(float64) != 0 {
+		t.Errorf("warm.started = %v, want 0 (no warmer)", warm["started"])
+	}
+	if warm["misses"].(float64) != 1 || warm["hits"].(float64) != 1 {
+		t.Errorf("warm hits/misses = %v/%v, want 1/1", warm["hits"], warm["misses"])
+	}
+	if ms := warm["measures"].([]any); len(ms) != 0 {
+		t.Errorf("warm.measures = %v, want empty", ms)
+	}
+}
+
 // TestWarmStartServesWithoutFullBuild is the tentpole acceptance test: a
 // server constructed from a persisted snapshot must answer /topk, /score and
 // /stats identically to a cold-built one — without ever invoking

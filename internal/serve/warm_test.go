@@ -1,0 +1,372 @@
+package serve
+
+// Coverage for the background ranking warmer and the /metrics endpoint: a
+// publish pre-warms the new snapshot, a newer publish provably cancels the
+// superseded warm (counter-asserted, never timing-asserted), a mutation
+// storm with the warmer active never serves a stale snapshot's ranking, and
+// Checkpoint stays consistent while a coalesced burst races the warmer.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"domainnet/internal/bipartite"
+	"domainnet/internal/datagen"
+	"domainnet/internal/domainnet"
+	"domainnet/internal/lake"
+	"domainnet/internal/persist"
+	"domainnet/internal/table"
+)
+
+// waitWarm polls the warmer's counters until cond holds; it fails the test
+// after a generous deadline instead of hanging forever.
+func waitWarm(t *testing.T, s *Server, what string, cond func(WarmStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond(s.WarmStats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats = %+v", what, s.WarmStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWarmerPrewarmsEveryPublish(t *testing.T) {
+	measure := domainnet.BetweennessExact
+	s := NewWithOptions(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        measure,
+		KeepSingletons: true,
+	}, Options{WarmMeasures: []domainnet.Measure{measure}})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	// The initial publish is warmed too.
+	waitWarm(t, s, "initial warm", func(w WarmStats) bool { return w.Completed == 1 })
+	assertSnapshotWarm := func() {
+		t.Helper()
+		sn := s.snap.Load()
+		sn.dc.mu.Lock()
+		d := sn.dc.dets[measure]
+		sn.dc.mu.Unlock()
+		if d == nil || !d.Ready() {
+			t.Fatal("published snapshot's detector is not pre-warmed")
+		}
+	}
+	assertSnapshotWarm()
+
+	// A mutation publishes a new snapshot; the warmer must re-warm it
+	// without any read arriving.
+	resp := do(t, http.MethodPost, ts.URL+"/tables/W1",
+		strings.NewReader("animal,city\nJaguar,Memphis\nOcelot,Lima\n"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitWarm(t, s, "post-mutation warm", func(w WarmStats) bool { return w.Completed == 2 })
+	assertSnapshotWarm()
+
+	// The first read after the warm is a warm hit, not a cold miss.
+	getJSON(t, ts.URL+"/topk?k=3", http.StatusOK)
+	if w := s.WarmStats(); w.Hits != 1 || w.Misses != 0 {
+		t.Errorf("post-warm read counted hits=%d misses=%d, want 1/0", w.Hits, w.Misses)
+	}
+}
+
+// TestSupersededWarmIsCancelled is the acceptance test for warm
+// cancellation: a warm held in flight while a newer publish lands must be
+// cancelled (observable in the counters) and must never mark the superseded
+// snapshot's detector ready. The warm gate makes the interleaving
+// deterministic — no sleeps, no timing assumptions.
+func TestSupersededWarmIsCancelled(t *testing.T) {
+	measure := domainnet.BetweennessExact
+	s := NewWithOptions(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        measure,
+		KeepSingletons: true,
+	}, Options{WarmMeasures: []domainnet.Measure{measure}})
+	t.Cleanup(s.Close)
+	waitWarm(t, s, "initial warm", func(w WarmStats) bool { return w.Completed == 1 })
+
+	// Gate every later warm: it reports in, then blocks until released.
+	entered := make(chan uint64, 4)
+	release := make(chan struct{})
+	s.warmMu.Lock()
+	s.warmGate = func(v uint64) {
+		entered <- v
+		<-release
+	}
+	s.warmMu.Unlock()
+
+	mkTable := func(name string) *table.Table {
+		return table.New(name).AddColumn("animal", "Jaguar", "Puma").
+			AddColumn("city", "Memphis", "Lima")
+	}
+
+	// Publish A: its warm enters the gate and holds there, pre-compute not
+	// yet begun.
+	if _, err := s.Apply([]*table.Table{mkTable("A")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snA := s.snap.Load()
+	if v := <-entered; v != snA.version {
+		t.Fatalf("gated warm reported version %d, want %d", v, snA.version)
+	}
+
+	// Publish B supersedes A while A's warm is provably still in flight.
+	if _, err := s.Apply([]*table.Table{mkTable("B")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snB := s.snap.Load()
+	<-entered // B's warm is gated too
+	close(release)
+
+	waitWarm(t, s, "cancel + completion", func(w WarmStats) bool {
+		return w.Started == 3 && w.Cancelled == 1 && w.Completed == 2
+	})
+
+	// The cancelled warm must not have computed A's ranking; B's must be
+	// warm. (After Cancelled ticked, A's warm goroutine has fully exited.)
+	snA.dc.mu.Lock()
+	dA := snA.dc.dets[measure]
+	snA.dc.mu.Unlock()
+	if dA != nil && dA.Ready() {
+		t.Error("superseded warm ran to completion: snapshot A's ranking was computed")
+	}
+	snB.dc.mu.Lock()
+	dB := snB.dc.dets[measure]
+	snB.dc.mu.Unlock()
+	if dB == nil || !dB.Ready() {
+		t.Error("winning warm did not pre-warm snapshot B")
+	}
+	if s.Version() != snB.version {
+		t.Errorf("served version = %d, want %d", s.Version(), snB.version)
+	}
+}
+
+// TestCarriedPublishDoesNotCancelWarm covers the no-op-churn hazard: a
+// burst that leaves the graph unchanged (remove + re-add verbatim) carries
+// the previous snapshot's graph and detector cache forward, so its warm is
+// still warming exactly the published state. Cancelling and restarting it
+// would mean sustained no-op churn keeps every reader cold forever — the
+// carried publish must instead join the in-flight warm's scope, and the
+// shared cache makes the new snapshot warm when that warm completes.
+func TestCarriedPublishDoesNotCancelWarm(t *testing.T) {
+	measure := domainnet.BetweennessExact
+	s := NewWithOptions(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        measure,
+		KeepSingletons: true,
+	}, Options{WarmMeasures: []domainnet.Measure{measure}})
+	t.Cleanup(s.Close)
+	waitWarm(t, s, "initial warm", func(w WarmStats) bool { return w.Completed == 1 })
+
+	entered := make(chan uint64, 4)
+	release := make(chan struct{})
+	s.warmMu.Lock()
+	s.warmGate = func(v uint64) {
+		entered <- v
+		<-release
+	}
+	s.warmMu.Unlock()
+
+	mkTable := func() *table.Table {
+		return table.New("noop").AddColumn("animal", "Jaguar", "Puma").
+			AddColumn("city", "Memphis", "Lima")
+	}
+
+	// Publish A changes the graph; its warm holds at the gate.
+	if _, err := s.Apply([]*table.Table{mkTable()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snA := s.snap.Load()
+	<-entered
+
+	// The no-op burst: remove and re-add the identical table in one Apply.
+	// The version advances but the rebuilt graph is the carried original.
+	if _, err := s.Apply([]*table.Table{mkTable()}, []string{"noop"}); err != nil {
+		t.Fatal(err)
+	}
+	snB := s.snap.Load()
+	if snB.graph != snA.graph {
+		t.Fatal("setup: verbatim remove+re-add did not carry the graph over")
+	}
+	if snB.dc != snA.dc {
+		t.Fatal("carried publish did not share the detector cache")
+	}
+	if snB.version <= snA.version {
+		t.Fatalf("carried publish did not advance the version: %d <= %d", snB.version, snA.version)
+	}
+	<-entered // the carried publish's warm is gated too, not skipped
+	close(release)
+
+	// Neither warm may be cancelled: A's warm computes, the carried one
+	// joins it through the shared detector latch.
+	waitWarm(t, s, "both warms to complete", func(w WarmStats) bool {
+		return w.Started == 3 && w.Completed == 3
+	})
+	if w := s.WarmStats(); w.Cancelled != 0 {
+		t.Errorf("no-op churn cancelled %d warm(s); carried publishes must join, not cancel", w.Cancelled)
+	}
+	snB.dc.mu.Lock()
+	d := snB.dc.dets[measure]
+	snB.dc.mu.Unlock()
+	if d == nil || !d.Ready() {
+		t.Error("carried snapshot is not warm after the joined warm completed")
+	}
+}
+
+// TestMutationStormServesFreshRankings hammers the write path while warms
+// are continuously scheduled and cancelled, with readers in flight: every
+// response must come from some published snapshot with a monotonically
+// non-decreasing version, and the post-storm ranking must be bit-identical
+// to a cold rebuild of the same lake — never a stale snapshot's ranking.
+func TestMutationStormServesFreshRankings(t *testing.T) {
+	cfg := domainnet.Config{Measure: domainnet.BetweennessExact, KeepSingletons: true}
+	s := NewWithOptions(datagen.Figure1Lake(), cfg,
+		Options{WarmMeasures: []domainnet.Measure{domainnet.BetweennessExact}})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	const writers, rounds = 4, 6
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var last float64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/topk?k=3")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("reader got %d", resp.StatusCode)
+				resp.Body.Close()
+				return
+			}
+			var top map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&top)
+			resp.Body.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			v := top["version"].(float64)
+			if v < last {
+				t.Errorf("version went backwards: %v after %v", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("storm%d_%d", w, r)
+				tb := table.New(name).
+					AddColumn("animal", "Jaguar", fmt.Sprintf("beast%d", w)).
+					AddColumn("city", "Memphis", fmt.Sprintf("town%d", r))
+				if _, err := s.Apply([]*table.Table{tb}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Apply(nil, []string{name}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(done)
+	readerWG.Wait()
+
+	// Let the final warm settle, then check the books balance.
+	waitWarm(t, s, "storm warms to settle", func(w WarmStats) bool {
+		return w.Started == w.Completed+w.Cancelled
+	})
+
+	// All storm tables were removed: the lake is Figure 1 again, and the
+	// served ranking must equal a cold build's, at the exact final version.
+	cold := httptest.NewServer(New(datagen.Figure1Lake(), cfg))
+	t.Cleanup(cold.Close)
+	got := getJSON(t, ts.URL+"/topk?k=10", http.StatusOK)
+	want := getJSON(t, cold.URL+"/topk?k=10", http.StatusOK)
+	if !reflect.DeepEqual(got["results"], want["results"]) {
+		t.Errorf("post-storm ranking diverged from cold build:\ngot  %v\nwant %v",
+			got["results"], want["results"])
+	}
+	if v := got["version"].(float64); v != float64(4+2*writers*rounds) {
+		t.Errorf("final version = %v, want %d", v, 4+2*writers*rounds)
+	}
+}
+
+// TestCheckpointRacesCoalescedBurstWithWarmer is the warm-pipeline variant
+// of the torn-checkpoint regression: a coalescing burst leaves the lake
+// ahead of the snapshot, the checkpointer wins the lock race and must
+// publish first — which now also schedules a warm under the write lock.
+// The persisted pair must stay consistent and the warm books must balance.
+func TestCheckpointRacesCoalescedBurstWithWarmer(t *testing.T) {
+	s := NewWithOptions(datagen.Figure1Lake(), domainnet.Config{
+		Measure:        domainnet.DegreeBaseline,
+		KeepSingletons: true,
+	}, Options{WarmMeasures: []domainnet.Measure{domainnet.DegreeBaseline}})
+	t.Cleanup(s.Close)
+
+	// Pose as a queued writer so Apply defers its publish.
+	s.pending.Add(1)
+	tb := table.New("torn").AddColumn("animal", "Jaguar", "Puma")
+	if _, err := s.Apply([]*table.Table{tb}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.snap.Load().version == s.lake.Version() {
+		t.Fatal("setup: publish was not deferred")
+	}
+
+	path := t.TempDir() + "/lake.snapshot"
+	err := s.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
+		if s.snap.Load().version != l.Version() {
+			t.Error("Checkpoint handed out a lake/graph pair at different versions")
+		}
+		return persist.Save(path, l, g)
+	})
+	s.pending.Add(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := persist.Load(path)
+	if err != nil {
+		t.Fatalf("checkpoint during warm-enabled burst is unloadable: %v", err)
+	}
+	if sn.Graph == nil || sn.Lake.Version() != 5 {
+		t.Errorf("loaded snapshot = graph %v, version %d; want graph at version 5",
+			sn.Graph != nil, sn.Lake.Version())
+	}
+	waitWarm(t, s, "warms to settle", func(w WarmStats) bool {
+		return w.Started == w.Completed+w.Cancelled
+	})
+	sn2 := s.snap.Load()
+	sn2.dc.mu.Lock()
+	d := sn2.dc.dets[domainnet.DegreeBaseline]
+	sn2.dc.mu.Unlock()
+	if d == nil || !d.Ready() {
+		t.Error("checkpoint-triggered publish was not warmed")
+	}
+}
