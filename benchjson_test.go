@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -377,6 +378,121 @@ func TestEmitBenchJSON(t *testing.T) {
 			}
 			if srv.WarmStats().Misses != 0 {
 				b.Fatal("warm stage read a cold detector; the comparison is void")
+			}
+		}},
+		{"warm_incremental_sb", func(b *testing.B) {
+			// The incremental-maintenance headline: cost to reach a warm
+			// ranking after a single-table publish with the delta scoring
+			// path on. The churn variant's appended value stays under the
+			// singleton filter, so the rebuild diff has an empty dirty set
+			// and the warmer carries the previous scores across the diff
+			// instead of re-running Brandes over the lake. Each iteration
+			// times publish + warm completion; compare against
+			// topk_cold_after_mutation_sb, the full recompute this replaces.
+			churn := datagen.NewSB(1)
+			srv := serve.NewWithOptions(churn.Lake,
+				domainnet.Config{Measure: domainnet.BetweennessExact},
+				serve.Options{WarmMeasures: []domainnet.Measure{domainnet.BetweennessExact}})
+			defer srv.Close()
+			waitWarm := func(n int64) {
+				deadline := time.Now().Add(2 * time.Minute)
+				for srv.WarmStats().Completed < n {
+					if time.Now().After(deadline) {
+						b.Fatalf("warm %d never completed; stats = %+v", n, srv.WarmStats())
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			waitWarm(1)
+			orig := churn.Lake.Tables()[0]
+			variant := table.New(orig.Name)
+			for _, col := range orig.Columns {
+				variant.AddColumn(col.Name, col.Values...)
+			}
+			variant.Columns[0].Values = append(
+				append([]string(nil), variant.Columns[0].Values...), "churn-variant")
+			variants := [2]*table.Table{orig, variant}
+			// Prime with the churn table at the end so every timed publish
+			// sees stable survivor order (no reorder fallback).
+			if _, err := srv.Apply([]*table.Table{variants[1]}, []string{orig.Name}); err != nil {
+				b.Fatal(err)
+			}
+			waitWarm(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Apply([]*table.Table{variants[i%2]}, []string{orig.Name}); err != nil {
+					b.Fatal(err)
+				}
+				waitWarm(int64(i) + 3)
+			}
+			b.StopTimer()
+			if inc := srv.WarmStats().Incremental; inc < int64(b.N) {
+				b.Fatalf("only %d of %d timed warms took the incremental path; the comparison is void", inc, b.N)
+			}
+		}},
+		{"mutation_storm_incremental_sb", func(b *testing.B) {
+			// Structural mutation storm with the delta path on: every round
+			// publishes a real graph change — a new disjoint-vocabulary
+			// table (a small isolated component), then its removal — each
+			// warmed through the incremental path where the dirty component
+			// is small. The stage's point is the equivalence assertion at
+			// the end: the served ranking after the storm must be identical
+			// to a from-scratch build of the same lake.
+			cfg := domainnet.Config{Measure: domainnet.BetweennessExact}
+			churn := datagen.NewSB(1)
+			srv := serve.NewWithOptions(churn.Lake, cfg,
+				serve.Options{WarmMeasures: []domainnet.Measure{domainnet.BetweennessExact}})
+			defer srv.Close()
+			waitWarm := func(n int64) {
+				deadline := time.Now().Add(2 * time.Minute)
+				for srv.WarmStats().Completed < n {
+					if time.Now().After(deadline) {
+						b.Fatalf("warm %d never completed; stats = %+v", n, srv.WarmStats())
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			waitWarm(1)
+			warms := int64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("storm%d", i)
+				tb := table.New(name).
+					AddColumn("a", fmt.Sprintf("Storm%dX", i), fmt.Sprintf("Storm%dY", i)).
+					AddColumn("b", fmt.Sprintf("Storm%dX", i), fmt.Sprintf("Storm%dY", i))
+				if _, err := srv.Apply([]*table.Table{tb}, nil); err != nil {
+					b.Fatal(err)
+				}
+				warms++
+				waitWarm(warms)
+				if _, err := srv.Apply(nil, []string{name}); err != nil {
+					b.Fatal(err)
+				}
+				warms++
+				waitWarm(warms)
+			}
+			b.StopTimer()
+			if srv.WarmStats().Incremental == 0 {
+				b.Fatal("storm never took the incremental path; the equivalence check is void")
+			}
+			// Equivalence: the storm removed everything it added, so a cold
+			// build of a fresh SB lake must rank identically.
+			cold := serve.New(datagen.NewSB(1).Lake, cfg)
+			topk := func(s http.Handler) any {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/topk?k=100", nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("/topk = %d", rec.Code)
+				}
+				var body map[string]any
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					b.Fatal(err)
+				}
+				return body["results"]
+			}
+			got, want := topk(srv), topk(cold)
+			if !reflect.DeepEqual(got, want) {
+				b.Fatalf("post-storm incremental ranking diverged from scratch build:\ngot  %v\nwant %v", got, want)
 			}
 		}},
 		{"brandes_exact_sb", func(b *testing.B) {

@@ -123,6 +123,13 @@ func parseFlags(args []string) (*config, error) {
 		return nil, fmt.Errorf("unknown measure %q (valid: %s)",
 			measure, strings.Join(domainnet.MeasureNames(), ", "))
 	}
+	// A parseable measure name can still lack a scorer (the enum and the
+	// scorer registry are separate layers); refusing to start beats a daemon
+	// whose every read 500s.
+	if !m.Registered() {
+		return nil, fmt.Errorf("measure %q has no registered scorer (registered: %s)",
+			m, strings.Join(domainnet.Scorers(), ", "))
+	}
 	c.measure = m
 	if warmMeasures != "" {
 		seen := make(map[domainnet.Measure]bool)
@@ -132,6 +139,10 @@ func parseFlags(args []string) (*config, error) {
 			if !ok {
 				return nil, fmt.Errorf("-warm-measures: unknown measure %q (valid: %s)",
 					name, strings.Join(domainnet.MeasureNames(), ", "))
+			}
+			if !wm.Registered() {
+				return nil, fmt.Errorf("-warm-measures: measure %q has no registered scorer (registered: %s)",
+					wm, strings.Join(domainnet.Scorers(), ", "))
 			}
 			if seen[wm] {
 				continue // "bc,bc" warms once, not twice

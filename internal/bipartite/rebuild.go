@@ -53,6 +53,22 @@ func sameData[T comparable](a, b []T) bool {
 	return len(a) == 0 || &a[0] == &b[0] || slices.Equal(a, b)
 }
 
+// Diff reports how a rebuilt graph's node universe and adjacency relate to
+// the previous build, in exactly the shape engine.Delta consumes. Full marks
+// a from-scratch rebuild with no usable node correspondence. Otherwise
+// PrevToNew maps every previous node id (values then attributes) to its new
+// id or -1 when gone, injectively over survivors, and Dirty lists — in
+// ascending order — the new nodes whose adjacency differs from their
+// pre-image's (including nodes with no pre-image). Dirtiness is structural:
+// an attribute whose cell contents changed but whose retained-value edge set
+// did not is clean, and a node whose id shifted under the value remap is
+// clean as long as its edges followed the remap.
+type Diff struct {
+	Full      bool
+	PrevToNew []int32
+	Dirty     []int32
+}
+
 // Rebuild builds the graph of attrs, reusing as much of prev as the update
 // allows: the interned value strings, the value-index map (when the retained
 // value set is unchanged), and the adjacency spans of every attribute that is
@@ -67,9 +83,21 @@ func sameData[T comparable](a, b []T) bool {
 // differing KeepSingletons, duplicate attribute IDs, reordered survivors) or
 // when the churn exceeds rebuildMaxChurn's threshold.
 func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *Graph {
+	g, _ := RebuildDiff(prev, attrs, changed, opts)
+	return g
+}
+
+// RebuildDiff is Rebuild plus a structural Diff describing what the update
+// touched, so scoring layers can carry prior per-node results. The returned
+// Diff is nil exactly when the update is a no-op and prev itself is returned;
+// it has Full set on every path that rebuilt from scratch.
+func RebuildDiff(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) (*Graph, *Diff) {
+	full := func() (*Graph, *Diff) {
+		return FromAttributes(attrs, opts), &Diff{Full: true}
+	}
 	if prev == nil || !prev.incremental || prev.nRows != 0 ||
 		prev.keepSingletons != opts.KeepSingletons {
-		return FromAttributes(attrs, opts)
+		return full()
 	}
 	nAttr := len(attrs)
 	nPrev := len(prev.srcAttrs)
@@ -79,14 +107,14 @@ func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *
 	prevByID := make(map[string]int, nPrev)
 	for p := range prev.srcAttrs {
 		if _, dup := prevByID[prev.srcAttrs[p].ID]; dup {
-			return FromAttributes(attrs, opts)
+			return full()
 		}
 		prevByID[prev.srcAttrs[p].ID] = p
 	}
 	seen := make(map[string]struct{}, nAttr)
 	for i := range attrs {
 		if _, dup := seen[attrs[i].ID]; dup {
-			return FromAttributes(attrs, opts)
+			return full()
 		}
 		seen[attrs[i].ID] = struct{}{}
 	}
@@ -94,7 +122,7 @@ func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *
 	dirty := make([]bool, nAttr) // attrs whose adjacency must be refilled
 	for _, i := range changed {
 		if i < 0 || i >= nAttr {
-			return FromAttributes(attrs, opts)
+			return full()
 		}
 		dirty[i] = true
 	}
@@ -119,7 +147,7 @@ func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *
 		}
 		p, ok := prevByID[attrs[i].ID]
 		if !ok || p <= last {
-			return FromAttributes(attrs, opts)
+			return full()
 		}
 		last = p
 		prevOfNew[i] = p
@@ -133,10 +161,10 @@ func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *
 		}
 	}
 	if len(changed) == 0 && nGone == 0 {
-		return prev // no structural change at all
+		return prev, nil // no structural change at all
 	}
 	if (len(changed)+nGone)*rebuildMaxChurn > nAttr+nPrev {
-		return FromAttributes(attrs, opts)
+		return full()
 	}
 
 	// Delta the occurrence counts: subtract the cells of gone prev
@@ -241,7 +269,7 @@ func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *
 		}
 	}
 	if (nDirty+nGone)*rebuildMaxChurn > nAttr+nPrev {
-		return FromAttributes(attrs, opts)
+		return full()
 	}
 
 	// New value universe. When no value flipped, the sorted value slice and
@@ -376,7 +404,105 @@ func Rebuild(prev *Graph, attrs []lake.Attribute, changed []int, opts Options) *
 		incremental:    true,
 	}
 	g.sortAdjacency(opts.Workers)
-	return g
+
+	// Assemble the structural diff. Changed attributes keep their node
+	// identity across the rebuild (matched by ID), so extend the survivor map
+	// with them before translating both node spaces.
+	newOfPrev := make([]int, nPrev)
+	copy(newOfPrev, prevToNew)
+	for i := range attrs {
+		if dirty[i] && prevOfNew[i] < 0 {
+			if p, ok := prevByID[attrs[i].ID]; ok {
+				newOfPrev[p] = i
+			}
+		}
+	}
+	diff := &Diff{PrevToNew: make([]int32, nValPrev+nPrev)}
+	for vo := 0; vo < nValPrev; vo++ {
+		diff.PrevToNew[vo] = remap(int32(vo))
+	}
+	for p := 0; p < nPrev; p++ {
+		if ni := newOfPrev[p]; ni >= 0 {
+			diff.PrevToNew[nValPrev+p] = int32(nVal + ni)
+		} else {
+			diff.PrevToNew[nValPrev+p] = -1
+		}
+	}
+
+	// Structural dirtiness is decided span against span: a refilled
+	// attribute whose sorted new span equals its sorted previous span under
+	// the (monotone, hence order-preserving) value remap kept every edge, so
+	// neither it nor its values changed. Mismatches dirty the attribute and
+	// exactly the values gaining or losing the edge.
+	dirtyNode := make([]bool, n)
+	for i := range attrs {
+		if !dirty[i] {
+			continue
+		}
+		a := int32(nVal + i)
+		span := g.Neighbors(a)
+		p := prevOfNew[i]
+		if p < 0 {
+			if q, ok := prevByID[attrs[i].ID]; ok {
+				p = q
+			}
+		}
+		if p < 0 {
+			// Brand-new attribute: no pre-image, every edge added.
+			dirtyNode[a] = true
+			for _, vn := range span {
+				dirtyNode[vn] = true
+			}
+			continue
+		}
+		old := prev.Neighbors(int32(nValPrev + p))
+		oi, ni := 0, 0
+		attrDirty := false
+		for oi < len(old) || ni < len(span) {
+			ov := int32(-1)
+			if oi < len(old) {
+				ov = remap(old[oi])
+				if ov < 0 {
+					oi++ // edge to a dropped value: endpoint gone, span shrank
+					attrDirty = true
+					continue
+				}
+			}
+			switch {
+			case ni >= len(span) || (oi < len(old) && ov < span[ni]):
+				dirtyNode[ov] = true // edge removed
+				attrDirty = true
+				oi++
+			case oi >= len(old) || ov > span[ni]:
+				dirtyNode[span[ni]] = true // edge added
+				attrDirty = true
+				ni++
+			default:
+				oi++
+				ni++
+			}
+		}
+		if attrDirty {
+			dirtyNode[a] = true
+		}
+	}
+	// Attributes that left the graph take every incident edge with them.
+	for p := range prev.srcAttrs {
+		if newOfPrev[p] >= 0 {
+			continue
+		}
+		for _, vo := range prev.Neighbors(int32(nValPrev + p)) {
+			if vn := remap(vo); vn >= 0 {
+				dirtyNode[vn] = true
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if dirtyNode[u] {
+			diff.Dirty = append(diff.Dirty, int32(u))
+		}
+	}
+	return g, diff
 }
 
 // Equal reports structural equality: same node universe, same CSR layout.

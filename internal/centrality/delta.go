@@ -1,0 +1,179 @@
+package centrality
+
+import (
+	"slices"
+
+	"domainnet/internal/engine"
+)
+
+// The delta-capable scorers exploit a structural fact of BFS-family
+// measures: every per-source traversal is confined to the source's connected
+// component, so a component untouched by the delta contributes — source for
+// source — exactly the numbers it contributed in the previous run, and only
+// the affected components' sources re-run (engine.PlanDelta).
+//
+// Float determinism is measure-specific and documented per scorer:
+//
+//   - Harmonic writes each source's own output entry, no cross-source
+//     summation — incremental results are bit-identical to a from-scratch
+//     recompute, for any worker count.
+//   - Betweenness folds per-source dependency vectors through per-shard
+//     partial sums, so its bits depend on the shard grouping (as they
+//     already do on the worker count). The delta path re-scores affected
+//     components under the full run's own shard boundaries
+//     (accumulateMasked), making rescored entries bit-identical to a
+//     recompute at the same worker count; carried entries were summed under
+//     the previous graph's boundaries and can differ from a cold recompute
+//     in the last ulps when the node count changed. The values are
+//     identical as real numbers — the drift is summation grouping only —
+//     and when the delta is empty with an unchanged node universe (the
+//     single-table republish case) the carry is bit-identical too.
+//
+// Normalization is deliberately left out of the carry: raw scores are
+// carried and the (n-dependent) normalization is applied to the final
+// vector, so node-count drift between rounds cannot skew carried entries.
+
+// BetweennessExact is the registry's exact-Brandes scorer; it implements
+// engine.DeltaScorer.
+type BetweennessExact struct{}
+
+// Name implements engine.Scorer.
+func (BetweennessExact) Name() string { return NameBetweennessExact }
+
+// Score implements engine.Scorer.
+func (BetweennessExact) Score(g Graph, opts engine.Opts) []float64 {
+	return Betweenness(g, opts)
+}
+
+// finishBetweenness splits a raw Brandes vector into the final (possibly
+// normalized) scores and the raw carry. The raw vector is only cloned when
+// normalization would otherwise destroy it.
+func finishBetweenness(raw []float64, n int, opts engine.Opts) (scores, carry []float64) {
+	if !opts.Normalized {
+		return raw, raw
+	}
+	scores = slices.Clone(raw)
+	normalize(scores, n)
+	return scores, raw
+}
+
+// ScoreFull implements engine.DeltaScorer: a from-scratch computation that
+// also returns the raw carry for a later ScoreDelta.
+func (BetweennessExact) ScoreFull(g Graph, opts engine.Opts) (scores, carry []float64) {
+	n := g.NumNodes()
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	raw := accumulate(g, sources, opts, 1.0)
+	return finishBetweenness(raw, n, opts)
+}
+
+// accumulateMasked is accumulate over the full ascending source space
+// [0, n) with clean sources skipped. Sharding over n items — not over the
+// affected subset — keeps the shard boundaries, and with them the float
+// summation grouping of the per-shard partial vectors, exactly those of a
+// full computation at the same worker count: a rescored component's sums
+// are bit-identical to what ScoreFull would produce on this graph.
+func accumulateMasked(g Graph, affected []bool, opts engine.Opts, scale float64) []float64 {
+	n := g.NumNodes()
+	return engine.ShardSumCtx(opts.Context(), opts.Workers, n, n,
+		func(a *engine.Arena, lo, hi int, out []float64) {
+			srcs := make([]int32, 0, hi-lo)
+			for s := lo; s < hi; s++ {
+				if affected[s] {
+					srcs = append(srcs, int32(s))
+				}
+			}
+			brandesShard(g, srcs, opts, scale, a, out)
+		})
+}
+
+// ScoreDelta implements engine.DeltaScorer: Brandes re-runs only from the
+// sources of components the delta touched, every other node carries its raw
+// prior. ok=false under the endpoint ablation (the carry was not built for
+// it), on malformed deltas, or past the plan's churn threshold. Like Score,
+// a cancelled opts.Ctx yields a partial result the caller must discard.
+func (BetweennessExact) ScoreDelta(g Graph, d *engine.Delta, opts engine.Opts) (scores, carry []float64, ok bool) {
+	if opts.EndpointsValuesOnly {
+		return nil, nil, false
+	}
+	plan, planOK := engine.PlanDelta(g, d)
+	if !planOK {
+		return nil, nil, false
+	}
+	n := g.NumNodes()
+	var raw []float64
+	if plan.NumAffected() == 0 {
+		raw = make([]float64, n) // pure carry: no BFS, no sharded scan
+	} else {
+		mask := make([]bool, n)
+		for _, s := range plan.Affected {
+			mask[s] = true
+		}
+		raw = accumulateMasked(g, mask, opts, 1.0)
+	}
+	for u, p := range plan.PrevOf {
+		if p >= 0 {
+			raw[u] = d.PrevCarry[p]
+		}
+	}
+	scores, carry = finishBetweenness(raw, n, opts)
+	return scores, carry, true
+}
+
+// HarmonicScorer is the registry's harmonic scorer (exact by default,
+// sampled when opts.Samples is set); it implements engine.DeltaScorer for
+// the exact path.
+type HarmonicScorer struct{}
+
+// Name implements engine.Scorer.
+func (HarmonicScorer) Name() string { return NameHarmonic }
+
+// Score implements engine.Scorer.
+func (HarmonicScorer) Score(g Graph, opts engine.Opts) []float64 {
+	if opts.Samples <= 0 {
+		return Harmonic(g, opts)
+	}
+	return ApproxHarmonic(g, opts)
+}
+
+// ScoreFull implements engine.DeltaScorer. Harmonic scores are never
+// rescaled, so the carry is the score vector itself.
+func (h HarmonicScorer) ScoreFull(g Graph, opts engine.Opts) (scores, carry []float64) {
+	out := h.Score(g, opts)
+	return out, out
+}
+
+// ScoreDelta implements engine.DeltaScorer: each affected source re-runs its
+// BFS, every clean source carries its prior Σ 1/d. The sampled estimator
+// draws sources globally and cannot decompose by component, so ScoreDelta
+// only applies on the exact path (Samples == 0 or >= n).
+func (HarmonicScorer) ScoreDelta(g Graph, d *engine.Delta, opts engine.Opts) (scores, carry []float64, ok bool) {
+	n := g.NumNodes()
+	if opts.Samples > 0 && opts.Samples < n {
+		return nil, nil, false
+	}
+	plan, planOK := engine.PlanDelta(g, d)
+	if !planOK {
+		return nil, nil, false
+	}
+	out := make([]float64, n)
+	for u, p := range plan.PrevOf {
+		if p >= 0 {
+			out[u] = d.PrevCarry[p]
+		}
+	}
+	aff := plan.Affected
+	engine.ParallelCtx(opts.Context(), opts.EffectiveWorkers(len(aff)), len(aff), func(_, lo, hi int) {
+		a := engine.AcquireArena(n)
+		defer a.Release()
+		for i := lo; i < hi; i++ {
+			if opts.Cancelled() {
+				return
+			}
+			out[aff[i]] = harmonicFromSource(g, aff[i], a)
+		}
+	})
+	return out, out, true
+}

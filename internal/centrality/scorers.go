@@ -35,7 +35,7 @@ func bipartiteView(g Graph, name string) Bipartite {
 }
 
 func init() {
-	engine.Register(scorerFunc{NameBetweennessExact, Betweenness})
+	engine.Register(BetweennessExact{})
 	engine.Register(scorerFunc{NameBetweennessApprox, func(g Graph, opts engine.Opts) []float64 {
 		if opts.Samples <= 0 {
 			// 1% of the node count, min 100 — the §5.4 footnote 7 heuristic.
@@ -56,10 +56,5 @@ func init() {
 	engine.Register(scorerFunc{NameDegree, func(g Graph, _ engine.Opts) []float64 {
 		return Degree(g)
 	}})
-	engine.Register(scorerFunc{NameHarmonic, func(g Graph, opts engine.Opts) []float64 {
-		if opts.Samples <= 0 {
-			return Harmonic(g, opts)
-		}
-		return ApproxHarmonic(g, opts)
-	}})
+	engine.Register(HarmonicScorer{})
 }

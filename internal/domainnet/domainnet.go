@@ -79,6 +79,15 @@ func (m Measure) String() string {
 	return fmt.Sprintf("Measure(%d)", int(m))
 }
 
+// Registered reports whether the measure's scorer is actually present in
+// the engine registry — the fail-fast startup validation cmd/domainnetd
+// applies to -measure and -warm-measures, instead of discovering an
+// unregistered measure when the first computation dispatches.
+func (m Measure) Registered() bool {
+	_, ok := engine.Lookup(m.String())
+	return ok
+}
+
 // order reports the ranking direction under which the measure places
 // homograph candidates first.
 func (m Measure) order() rank.Order {
@@ -183,10 +192,33 @@ type Detector struct {
 	scoreMu   sync.Mutex
 	scoreDone atomic.Bool
 	scores    []float64
+	// carry is the raw (denormalization-free) score vector a successor
+	// detector's delta computation can reuse; nil when the measure is not
+	// delta-capable. Written with scores under scoreMu, published by
+	// scoreDone.
+	carry []float64
+	// incremental and dirtySize record which path computed the score cache
+	// (same publication protocol as scores) — the serving layer's
+	// incremental-vs-fallback accounting.
+	incremental bool
+	dirtySize   int
+	// prior links to the predecessor snapshot's detector and the structural
+	// diff that produced this graph, enabling the delta scoring path. It is
+	// dropped on the first successful score computation, so prior chains
+	// never exceed one hop and old snapshots are not retained.
+	prior *scorePrior
 
 	rankMu   sync.Mutex
 	rankDone atomic.Bool
 	ranking  []rank.Scored
+}
+
+// scorePrior is the delta-scoring link between a detector and its
+// predecessor: prev supplies the raw carry vector, diff the node mapping and
+// dirty set of the rebuild that separates the two graphs.
+type scorePrior struct {
+	prev *Detector
+	diff *bipartite.Diff
 }
 
 // New builds the DomainNet graph of a lake (pipeline step 1). Construction
@@ -206,6 +238,21 @@ func FromGraph(g *bipartite.Graph, cfg Config) *Detector {
 	return &Detector{cfg: cfg, graph: g}
 }
 
+// FromGraphWithPrior wraps a rebuilt graph and, when the rebuild produced a
+// usable structural diff against a predecessor whose scores are already
+// computed, attaches that predecessor as the delta-scoring prior: the first
+// score computation then re-runs BFS only from the diff's affected
+// components and carries everything else. The prior is best-effort — a Full
+// diff, a missing predecessor score cache, or a measure without a delta
+// implementation all degrade silently to the usual full computation.
+func FromGraphWithPrior(g *bipartite.Graph, cfg Config, prev *Detector, diff *bipartite.Diff) *Detector {
+	d := FromGraph(g, cfg)
+	if prev != nil && diff != nil && !diff.Full && prev.ScoresReady() {
+		d.prior = &scorePrior{prev: prev, diff: diff}
+	}
+	return d
+}
+
 // Update returns a detector reflecting the lake's current state, rebuilding
 // the graph incrementally from the receiver's snapshot (bipartite.Rebuild):
 // unchanged attributes keep their interned values and adjacency, so
@@ -217,12 +264,12 @@ func FromGraph(g *bipartite.Graph, cfg Config) *Detector {
 // detector are undisturbed — this is the write path of the serving layer.
 func (d *Detector) Update(l *lake.Lake) *Detector {
 	attrs := l.Attributes()
-	g := bipartite.Rebuild(d.graph, attrs, bipartite.Changed(d.graph, attrs), d.cfg.bipartiteOpts())
+	g, diff := bipartite.RebuildDiff(d.graph, attrs, bipartite.Changed(d.graph, attrs), d.cfg.bipartiteOpts())
 	if g == d.graph {
 		d.version.Store(l.Version())
 		return d
 	}
-	nd := FromGraph(g, d.cfg)
+	nd := FromGraphWithPrior(g, d.cfg, d, diff)
 	nd.version.Store(l.Version())
 	return nd
 }
@@ -270,13 +317,66 @@ func (d *Detector) ScoresContext(ctx context.Context) ([]float64, error) {
 		// order()'s graceful handling (and the zero-value Config).
 		scorer = engine.MustLookup(centrality.NameBetweennessApprox)
 	}
-	scores := scorer.Score(d.graph, d.cfg.engineOpts(ctx))
+	scores, carry, incremental, dirtySize := d.computeScores(scorer, d.cfg.engineOpts(ctx))
 	if err := ctx.Err(); err != nil {
-		return nil, err // possibly partial: do not poison the cache
+		return nil, err // possibly partial: do not poison the cache (prior kept for the retry)
 	}
 	d.scores = scores
+	d.carry = carry
+	d.incremental = incremental
+	d.dirtySize = dirtySize
+	d.prior = nil // the carry supersedes it; drop the old snapshot
 	d.scoreDone.Store(true)
 	return scores, nil
+}
+
+// computeScores runs the measure over d.graph, preferring the delta path:
+// when the scorer is delta-capable and a prior with a computed carry is
+// attached, ScoreDelta re-scores only the components the rebuild dirtied.
+// Every bail-out — non-delta scorer, missing prior or carry, churn past the
+// plan threshold, options the delta path does not support — lands on the
+// full computation. Called with scoreMu held.
+func (d *Detector) computeScores(scorer engine.Scorer, opts engine.Opts) (scores, carry []float64, incremental bool, dirtySize int) {
+	ds, isDelta := scorer.(engine.DeltaScorer)
+	if !isDelta {
+		return scorer.Score(d.graph, opts), nil, false, 0
+	}
+	if p := d.prior; p != nil {
+		if prevCarry, ready := p.prev.carryState(); ready {
+			dirtySize = len(p.diff.Dirty)
+			delta := &engine.Delta{
+				PrevToNew: p.diff.PrevToNew,
+				Dirty:     p.diff.Dirty,
+				PrevCarry: prevCarry,
+			}
+			if s, c, ok := ds.ScoreDelta(d.graph, delta, opts); ok {
+				return s, c, true, dirtySize
+			}
+		}
+	}
+	s, c := ds.ScoreFull(d.graph, opts)
+	return s, c, false, dirtySize
+}
+
+// carryState returns the raw carry vector once the score cache is computed.
+// ready is false while scores are pending or when the measure produced no
+// carry (non-delta scorers).
+func (d *Detector) carryState() (carryVec []float64, ready bool) {
+	if !d.scoreDone.Load() {
+		return nil, false
+	}
+	return d.carry, d.carry != nil
+}
+
+// ScorePath reports which path computed the score cache: incremental is true
+// when a delta computation carried prior scores, and dirty is the size of
+// the structural dirty set it processed. computed is false until the score
+// cache exists (the other results are then meaningless).
+func (d *Detector) ScorePath() (incremental bool, dirty int, computed bool) {
+	if !d.scoreDone.Load() {
+		return false, 0, false
+	}
+	return d.incremental, d.dirtySize, true
 }
 
 // ScoresReady reports whether the score cache is already computed — the

@@ -138,6 +138,17 @@ func TestMeasureString(t *testing.T) {
 	}
 }
 
+func TestMeasureRegistered(t *testing.T) {
+	for m := range measureScorer {
+		if !m.Registered() {
+			t.Errorf("built-in measure %s has no registered scorer", m)
+		}
+	}
+	if Measure(99).Registered() {
+		t.Error("Measure(99) reports a registered scorer")
+	}
+}
+
 func TestEpsilonMeasureFindsFigure1Homographs(t *testing.T) {
 	d := New(datagen.Figure1Lake(), Config{
 		Measure:        BetweennessEpsilon,

@@ -103,6 +103,15 @@ type Server struct {
 	warmHits       atomic.Int64 // reads served from an already-computed cache
 	coldMisses     atomic.Int64 // reads that had to compute scores/ranking inline
 
+	// Warm path accounting (one count per measure per rebuilt snapshot):
+	// whether a warmed measure's score computation took the incremental
+	// delta path or fell back to the full recompute, and — for incremental
+	// computations — a histogram of the structural dirty-set sizes they
+	// processed (buckets of dirtyBucketNames).
+	warmsIncremental  atomic.Int64
+	warmsFullFallback atomic.Int64
+	dirtyHist         [len(dirtyBucketNames)]atomic.Int64
+
 	stats  map[string]*endpointStats // per-endpoint latency/error accounting
 	warmed []string                  // display names of warmMeasures, for /metrics
 }
@@ -200,6 +209,39 @@ type snapshot struct {
 type detCache struct {
 	mu   sync.Mutex
 	dets map[domainnet.Measure]*domainnet.Detector
+	// prior, when set, is the delta-scoring link to the superseded
+	// snapshot's cache: a detector created here hands the previous
+	// detector of its measure (with the rebuild diff) to
+	// domainnet.FromGraphWithPrior, so its first score computation can
+	// carry prior scores. Set only on warmed servers and dropped once the
+	// snapshot's warm finishes, so old snapshots are not retained beyond
+	// one generation.
+	prior *snapPrior
+	// counted marks measures whose warm path (incremental vs fallback) has
+	// been recorded, so re-warms of a carried snapshot are not double
+	// counted.
+	counted map[domainnet.Measure]bool
+}
+
+// snapPrior pairs the previous snapshot's detector cache with the
+// structural diff of the rebuild that superseded it.
+type snapPrior struct {
+	prev *detCache
+	diff *bipartite.Diff
+}
+
+// lookup returns the cached detector for m, if any, without creating one.
+func (dc *detCache) lookup(m domainnet.Measure) *domainnet.Detector {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.dets[m]
+}
+
+// clearPrior severs the delta link to the previous snapshot's cache.
+func (dc *detCache) clearPrior() {
+	dc.mu.Lock()
+	dc.prior = nil
+	dc.mu.Unlock()
 }
 
 func (sn *snapshot) detector(m domainnet.Measure, base domainnet.Config) *domainnet.Detector {
@@ -210,7 +252,17 @@ func (sn *snapshot) detector(m domainnet.Measure, base domainnet.Config) *domain
 	if !ok {
 		cfg := base
 		cfg.Measure = m
-		d = domainnet.FromGraph(sn.graph, cfg)
+		if p := dc.prior; p != nil {
+			// Lock order is always newer cache → older cache (prior links
+			// point strictly backwards in publish order), so nesting
+			// lookup's lock under ours cannot deadlock.
+			if pd := p.prev.lookup(m); pd != nil {
+				d = domainnet.FromGraphWithPrior(sn.graph, cfg, pd, p.diff)
+			}
+		}
+		if d == nil {
+			d = domainnet.FromGraph(sn.graph, cfg)
+		}
 		dc.dets[m] = d
 	}
 	return d
@@ -339,18 +391,29 @@ func (s *Server) publish() {
 	attrs := s.lake.Attributes()
 	prev := s.snap.Load()
 	var g *bipartite.Graph
+	var diff *bipartite.Diff
 	bopts := bipartite.Options{KeepSingletons: s.cfg.KeepSingletons, Workers: s.cfg.Workers}
-	if prev == nil {
+	switch {
+	case prev == nil:
 		g = bipartite.FromAttributes(attrs, bopts)
-	} else {
+	case len(s.warmMeasures) == 0:
+		// Without a warmer there is no prior-score consumer; skip the diff
+		// assembly so the unwarmed write path stays exactly as before.
 		g = bipartite.Rebuild(prev.graph, attrs, bipartite.Changed(prev.graph, attrs), bopts)
+	default:
+		g, diff = bipartite.RebuildDiff(prev.graph, attrs, bipartite.Changed(prev.graph, attrs), bopts)
 	}
-	s.publishGraph(g)
+	s.publishGraphDiff(g, diff)
 }
 
 // publishGraph swaps in a new snapshot holding g, which must reflect the
 // lake's current contents. Same locking contract as publish.
-func (s *Server) publishGraph(g *bipartite.Graph) {
+func (s *Server) publishGraph(g *bipartite.Graph) { s.publishGraphDiff(g, nil) }
+
+// publishGraphDiff is publishGraph with the structural diff of the rebuild
+// that produced g against the previous snapshot's graph (nil when unknown),
+// which seeds the new snapshot's delta-scoring prior.
+func (s *Server) publishGraphDiff(g *bipartite.Graph, diff *bipartite.Diff) {
 	attrs := s.lake.Attributes()
 	prev := s.snap.Load()
 	// Assemble the stats without lake.Stats(): that scan re-hashes every
@@ -377,6 +440,13 @@ func (s *Server) publishGraph(g *bipartite.Graph) {
 		next.dc = prev.dc
 	} else {
 		next.dc = &detCache{dets: make(map[domainnet.Measure]*domainnet.Detector)}
+		if prev != nil && diff != nil && !diff.Full && len(s.warmMeasures) > 0 {
+			// Seed the delta-scoring path: detectors of this snapshot may
+			// carry the previous snapshot's scores across the diff. Gated
+			// on warming so unwarmed servers keep the pure full-recompute
+			// cold path (and never retain a superseded snapshot's cache).
+			next.dc.prior = &snapPrior{prev: prev.dc, diff: diff}
+		}
 	}
 	s.publishes.Add(1)
 	s.snap.Store(next)
@@ -420,13 +490,68 @@ func (s *Server) scheduleWarm(sn *snapshot, carried bool) {
 			gate(sn.version)
 		}
 		for _, m := range s.warmMeasures {
-			if err := sn.detector(m, s.cfg).Warm(ctx); err != nil {
+			d := sn.detector(m, s.cfg)
+			if err := d.Warm(ctx); err != nil {
 				s.warmsCancelled.Add(1)
 				return
 			}
+			s.recordWarmPath(sn.dc, m, d)
 		}
+		// Every configured measure is computed; the previous snapshot's
+		// cache has nothing left to contribute.
+		sn.dc.clearPrior()
 		s.warmsCompleted.Add(1)
 	}()
+}
+
+// dirtyBucketNames labels the dirty-set size histogram buckets of the
+// incremental warm path (upper bounds; the last is unbounded).
+var dirtyBucketNames = [...]string{"0", "le16", "le256", "le4096", "gt4096"}
+
+// dirtyBucket maps a dirty-set size to its histogram bucket index.
+func dirtyBucket(n int) int {
+	switch {
+	case n == 0:
+		return 0
+	case n <= 16:
+		return 1
+	case n <= 256:
+		return 2
+	case n <= 4096:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// recordWarmPath counts, once per measure per rebuilt snapshot, whether the
+// warmed measure's score computation went through the incremental delta
+// path (bucketing its dirty-set size) or fell back to the full recompute.
+// The computation may have happened on a reader's goroutine before the
+// warmer got there; the path is recorded all the same.
+func (s *Server) recordWarmPath(dc *detCache, m domainnet.Measure, d *domainnet.Detector) {
+	incremental, dirty, computed := d.ScorePath()
+	if !computed {
+		return
+	}
+	dc.mu.Lock()
+	first := !dc.counted[m]
+	if first {
+		if dc.counted == nil {
+			dc.counted = make(map[domainnet.Measure]bool)
+		}
+		dc.counted[m] = true
+	}
+	dc.mu.Unlock()
+	if !first {
+		return
+	}
+	if incremental {
+		s.warmsIncremental.Add(1)
+		s.dirtyHist[dirtyBucket(dirty)].Add(1)
+	} else {
+		s.warmsFullFallback.Add(1)
+	}
 }
 
 // Close cancels any in-flight background warm. The server stays fully
@@ -450,16 +575,24 @@ type WarmStats struct {
 	Cancelled int64 `json:"cancelled"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
+	// Incremental and FullFallback split the warmed measures' score
+	// computations by path: delta (prior scores carried across the rebuild
+	// diff) versus full recompute (no usable prior, non-delta measure, or
+	// churn past the fallback threshold).
+	Incremental  int64 `json:"incremental"`
+	FullFallback int64 `json:"full_fallback"`
 }
 
 // WarmStats reports the warmer's counters; see the WarmStats type.
 func (s *Server) WarmStats() WarmStats {
 	return WarmStats{
-		Started:   s.warmsStarted.Load(),
-		Completed: s.warmsCompleted.Load(),
-		Cancelled: s.warmsCancelled.Load(),
-		Hits:      s.warmHits.Load(),
-		Misses:    s.coldMisses.Load(),
+		Started:      s.warmsStarted.Load(),
+		Completed:    s.warmsCompleted.Load(),
+		Cancelled:    s.warmsCancelled.Load(),
+		Hits:         s.warmHits.Load(),
+		Misses:       s.coldMisses.Load(),
+		Incremental:  s.warmsIncremental.Load(),
+		FullFallback: s.warmsFullFallback.Load(),
 	}
 }
 
@@ -604,16 +737,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if warmed == nil {
 		warmed = []string{}
 	}
+	dirtyHist := make(map[string]int64, len(dirtyBucketNames))
+	for i, name := range dirtyBucketNames {
+		dirtyHist[name] = s.dirtyHist[i].Load()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version":   s.Version(),
 		"publishes": s.Publishes(),
 		"warm": map[string]any{
-			"measures":  warmed,
-			"started":   s.warmsStarted.Load(),
-			"completed": s.warmsCompleted.Load(),
-			"cancelled": s.warmsCancelled.Load(),
-			"hits":      s.warmHits.Load(),
-			"misses":    s.coldMisses.Load(),
+			"measures":      warmed,
+			"started":       s.warmsStarted.Load(),
+			"completed":     s.warmsCompleted.Load(),
+			"cancelled":     s.warmsCancelled.Load(),
+			"hits":          s.warmHits.Load(),
+			"misses":        s.coldMisses.Load(),
+			"incremental":   s.warmsIncremental.Load(),
+			"full_fallback": s.warmsFullFallback.Load(),
+			"dirty_hist":    dirtyHist,
 		},
 		"endpoints": endpoints,
 	})

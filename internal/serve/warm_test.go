@@ -318,6 +318,94 @@ func TestMutationStormServesFreshRankings(t *testing.T) {
 	}
 }
 
+// TestWarmIncrementalPathAndMetrics drives the delta warm path end to end:
+// a publish whose rebuild diff is structurally clean — an appended value
+// that stays under the singleton filter changes the table but not the
+// graph's adjacency — must warm through the incremental scoring path, tick
+// the incremental counter into the "0" dirty-size bucket, and surface all
+// of it through /metrics.
+func TestWarmIncrementalPathAndMetrics(t *testing.T) {
+	measure := domainnet.BetweennessExact
+	cfg := domainnet.Config{Measure: measure} // singleton filtering on: the stray row stays out of the graph
+	s := NewWithOptions(datagen.Figure1Lake(), cfg,
+		Options{WarmMeasures: []domainnet.Measure{measure}})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	waitWarm(t, s, "initial warm", func(w WarmStats) bool { return w.Completed == 1 })
+	if w := s.WarmStats(); w.Incremental != 0 || w.FullFallback != 1 {
+		t.Fatalf("cold warm counted incremental=%d full=%d, want 0/1", w.Incremental, w.FullFallback)
+	}
+
+	mkW1 := func(extra ...[2]string) *table.Table {
+		animals := []string{"Jaguar", "Puma"}
+		cities := []string{"Memphis", "Lima"}
+		for _, row := range extra {
+			animals = append(animals, row[0])
+			cities = append(cities, row[1])
+		}
+		return table.New("W1").AddColumn("animal", animals...).AddColumn("city", cities...)
+	}
+
+	// Structural publish: a brand-new table. Whether it clears the churn
+	// gates or not, it must not count as incremental — it has dirty edges.
+	if _, err := s.Apply([]*table.Table{mkW1()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitWarm(t, s, "structural warm", func(w WarmStats) bool { return w.Completed == 2 })
+	if w := s.WarmStats(); w.Incremental != 0 {
+		t.Fatalf("structural publish counted incremental=%d, want 0", w.Incremental)
+	}
+
+	// Clean publish: replace W1 with itself plus one stray row whose values
+	// occur nowhere else — filtered out, so the diff has an empty dirty set
+	// and the warm must carry every score through the delta path.
+	if _, err := s.Apply([]*table.Table{mkW1([2]string{"StrayBeast", "StrayTown"})}, []string{"W1"}); err != nil {
+		t.Fatal(err)
+	}
+	waitWarm(t, s, "incremental warm", func(w WarmStats) bool { return w.Completed == 3 })
+	w := s.WarmStats()
+	if w.Incremental != 1 {
+		t.Fatalf("clean publish counted incremental=%d (full=%d), want 1", w.Incremental, w.FullFallback)
+	}
+
+	// The counters must round-trip through /metrics, dirty histogram included.
+	metrics := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	warm, ok := metrics["warm"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics has no warm section: %v", metrics)
+	}
+	if got := warm["incremental"].(float64); got != 1 {
+		t.Errorf("metrics warm.incremental = %v, want 1", got)
+	}
+	if got := warm["full_fallback"].(float64); got < 1 {
+		t.Errorf("metrics warm.full_fallback = %v, want >= 1", got)
+	}
+	hist, ok := warm["dirty_hist"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics warm.dirty_hist missing: %v", warm)
+	}
+	if got := hist["0"].(float64); got != 1 {
+		t.Errorf("dirty_hist[0] = %v, want 1 (empty-delta carry)", got)
+	}
+	for _, bucket := range []string{"le16", "le256", "le4096", "gt4096"} {
+		if _, ok := hist[bucket]; !ok {
+			t.Errorf("dirty_hist missing bucket %q", bucket)
+		}
+	}
+
+	// The carried ranking must match a cold build of the same lake exactly.
+	cold := httptest.NewServer(New(s.lake, cfg))
+	t.Cleanup(cold.Close)
+	got := getJSON(t, ts.URL+"/topk?k=10", http.StatusOK)
+	want := getJSON(t, cold.URL+"/topk?k=10", http.StatusOK)
+	if !reflect.DeepEqual(got["results"], want["results"]) {
+		t.Errorf("incremental ranking diverged from cold build:\ngot  %v\nwant %v",
+			got["results"], want["results"])
+	}
+}
+
 // TestCheckpointRacesCoalescedBurstWithWarmer is the warm-pipeline variant
 // of the torn-checkpoint regression: a coalescing burst leaves the lake
 // ahead of the snapshot, the checkpointer wins the lock race and must
