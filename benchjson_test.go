@@ -233,7 +233,9 @@ func TestEmitBenchJSON(t *testing.T) {
 			// the change feed — each applied via the same incremental
 			// rebuild path the leader's own writes take. The leader serves
 			// the SB lake; mutations are add/remove pairs, so state stays
-			// baseline-sized across iterations.
+			// baseline-sized across iterations. RawBootstrap pins the legacy
+			// unframed transfer: this stage is the wire-bytes baseline that
+			// follower_catchup_compressed_sb is measured against.
 			dir, err := os.MkdirTemp("", "domainnet-bench-repl")
 			if err != nil {
 				b.Fatal(err)
@@ -254,7 +256,7 @@ func TestEmitBenchJSON(t *testing.T) {
 			ctx := context.Background()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				f := &repl.Follower{Leader: ts.URL,
+				f := &repl.Follower{Leader: ts.URL, RawBootstrap: true,
 					Config: domainnet.Config{Measure: domainnet.DegreeBaseline}}
 				if err := f.Bootstrap(ctx); err != nil {
 					b.Fatal(err)
@@ -274,6 +276,94 @@ func TestEmitBenchJSON(t *testing.T) {
 						b.Fatal(err)
 					}
 				}
+			}
+		}},
+		{"follower_catchup_compressed_sb", func(b *testing.B) {
+			// The same replication round trip over the default chunked
+			// bootstrap: the snapshot crosses the wire as CRC'd, per-chunk
+			// gzipped, resumable frames. The stage asserts the headline —
+			// the bootstrap must move at least 2x fewer bytes than the raw
+			// codec it frames (compare ns/op against follower_catchup_sb
+			// for the CPU cost of that shrink).
+			dir, err := os.MkdirTemp("", "domainnet-bench-replgz")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			wlog, err := wal.Open(dir, wal.Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer wlog.Close()
+			ld := repl.NewLeader(wlog)
+			leader := serve.NewWithOptions(datagen.NewSB(1).Lake,
+				domainnet.Config{Measure: domainnet.DegreeBaseline},
+				serve.Options{OnCommit: ld.OnCommit})
+			ld.Attach(leader)
+			ts := httptest.NewServer(leader)
+			defer ts.Close()
+			ctx := context.Background()
+			var st repl.BootstrapStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := &repl.Follower{Leader: ts.URL,
+					Config: domainnet.Config{Measure: domainnet.DegreeBaseline}}
+				if err := f.Bootstrap(ctx); err != nil {
+					b.Fatal(err)
+				}
+				st = f.BootstrapStats()
+				for j := 0; j < 4; j++ {
+					t := table.New(fmt.Sprintf("churn%d", j)).
+						AddColumn("animal", "jaguar", fmt.Sprintf("beast%d", j))
+					if _, err := leader.Apply([]*table.Table{t}, nil); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := leader.Apply(nil, []string{t.Name}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for f.Version() != leader.Version() {
+					if _, err := f.Poll(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if st.WireBytes*2 > st.RawBytes {
+				b.Fatalf("chunked bootstrap moved %d wire bytes for %d raw bytes — short of the required 2x shrink",
+					st.WireBytes, st.RawBytes)
+			}
+		}},
+		{"topk_cached_encode_sb", func(b *testing.B) {
+			// The read hot path behind the response cache: a repeat /topk
+			// presenting the ETag it was handed is a header write and a 304
+			// — no ranking clone, no JSON encode, no body bytes. The stage
+			// asserts the serving budget (at most 5 allocations per cached
+			// request) before timing it; compare ns/op against
+			// topk_warm_after_mutation_sb, the same read paying the encode.
+			churn := datagen.NewSB(1)
+			srv := serve.New(churn.Lake, domainnet.Config{Measure: domainnet.DegreeBaseline})
+			warm := httptest.NewRecorder()
+			srv.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/topk?k=10", nil))
+			if warm.Code != http.StatusOK {
+				b.Fatalf("warm /topk = %d", warm.Code)
+			}
+			etag := warm.Header().Get("ETag")
+			if etag == "" {
+				b.Fatal("/topk carries no ETag")
+			}
+			req := httptest.NewRequest(http.MethodGet, "/topk?k=10", nil)
+			req.Header.Set("If-None-Match", etag)
+			w := &nullResponseWriter{h: make(http.Header)}
+			if allocs := testing.AllocsPerRun(200, func() { srv.ServeHTTP(w, req) }); allocs > 5 {
+				b.Fatalf("cached 304 path costs %.0f allocs/op, budget is 5", allocs)
+			}
+			if w.code != http.StatusNotModified {
+				b.Fatalf("conditional /topk = %d, want 304", w.code)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.ServeHTTP(w, req)
 			}
 		}},
 		{"batch_ingest_sb", func(b *testing.B) {
@@ -555,3 +645,15 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	t.Logf("wrote %s", path)
 }
+
+// nullResponseWriter discards the response body while recording the status
+// code, so cached-path stages measure the handler alone — httptest.Recorder
+// would add its own buffer allocations to every op.
+type nullResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(code int)        { w.code = code }

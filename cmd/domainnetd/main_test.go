@@ -2,10 +2,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"domainnet/internal/domainnet"
+	"domainnet/internal/router"
 )
 
 // TestMain doubles as the daemon entry point for the process-level tests:
@@ -329,5 +332,127 @@ func TestProcessLeaderFollower(t *testing.T) {
 	}
 
 	follower.shutdown(t)
+	leader.shutdown(t)
+}
+
+// TestProcessFleet runs the full serving fleet: one leader, two follower
+// processes, and a read-router fronting them. The router must spread reads
+// across caught-up followers, reject a follower that stops applying bursts
+// (SIGSTOP freezes it mid-fleet: its version falls behind while the leader
+// keeps committing), keep serving correct rankings through the outage, and
+// readmit the follower once it catches back up.
+func TestProcessFleet(t *testing.T) {
+	dir := t.TempDir()
+	leader := startDaemon(t,
+		"-wal", filepath.Join(dir, "wal"),
+		"-measure", "degree",
+		"-name", "fleettest",
+	)
+	for i := 0; i < 4; i++ {
+		leader.post(t, fmt.Sprintf("t%d", i), csvTable(i))
+	}
+	f1 := startDaemon(t, "-follow", leader.url, "-measure", "degree")
+	f2 := startDaemon(t, "-follow", leader.url, "-measure", "degree")
+	f1.waitVersion(t, leader.version(t), 15*time.Second)
+	f2.waitVersion(t, leader.version(t), 15*time.Second)
+
+	rt, err := router.New(router.Options{
+		Leader:     leader.url,
+		Replicas:   []string{f1.url, f2.url},
+		MaxLag:     2,
+		ReadmitLag: 1,
+		Client:     &http.Client{Timeout: 500 * time.Millisecond},
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := httptest.NewServer(rt)
+	defer lb.Close()
+	ctx := context.Background()
+	rt.CheckNow(ctx)
+	if st := rt.Status(); st.Admitted != 2 {
+		t.Fatalf("caught-up fleet admitted %d of 2 replicas: %+v", st.Admitted, st)
+	}
+
+	// Routed reads are the leader's ranking, served by the replicas.
+	getLB := func() (string, string) {
+		t.Helper()
+		resp, err := http.Get(lb.URL + "/topk?k=30&measure=degree")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed /topk = %d (%s)", resp.StatusCode, b)
+		}
+		return string(b), resp.Header.Get("X-Domainnet-Backend")
+	}
+	want := leader.get(t, "/topk?k=30&measure=degree")
+	served := map[string]int{}
+	for i := 0; i < 6; i++ {
+		body, backend := getLB()
+		if body != want {
+			t.Fatalf("routed /topk diverges from leader:\nleader: %s\nrouted: %s", want, body)
+		}
+		served[backend]++
+	}
+	if len(served) != 2 || served[leader.url] != 0 {
+		t.Errorf("reads spread over %v, want both followers and never the leader", served)
+	}
+
+	// Freeze follower 2: it stops polling, so the next three bursts put it
+	// past the MaxLag=2 budget while follower 1 keeps up.
+	if err := f2.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		leader.post(t, fmt.Sprintf("lagging%d", i), csvTable(10+i))
+	}
+	f1.waitVersion(t, leader.version(t), 15*time.Second)
+	rt.CheckNow(ctx)
+	if st := rt.Status(); st.Admitted != 1 {
+		t.Fatalf("frozen follower not ejected: %+v", st)
+	}
+	want = leader.get(t, "/topk?k=30&measure=degree")
+	for i := 0; i < 4; i++ {
+		body, backend := getLB()
+		if body != want {
+			t.Fatalf("post-eject routed /topk diverges:\nleader: %s\nrouted: %s", want, body)
+		}
+		if backend != f1.url {
+			t.Errorf("post-eject read served by %q, want the healthy follower %q", backend, f1.url)
+		}
+	}
+
+	// Thaw it. Until it has caught back up to ReadmitLag it stays out of the
+	// rotation; once its version reaches the leader's again, the next probe
+	// rounds readmit it and it takes traffic.
+	if err := f2.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for rt.Status().Admitted != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered follower never readmitted: %+v", rt.Status())
+		}
+		time.Sleep(100 * time.Millisecond)
+		rt.CheckNow(ctx)
+	}
+	served = map[string]int{}
+	for i := 0; i < 6; i++ {
+		body, backend := getLB()
+		if body != want {
+			t.Fatalf("post-readmit routed /topk diverges:\nleader: %s\nrouted: %s", want, body)
+		}
+		served[backend]++
+	}
+	if served[f2.url] == 0 {
+		t.Errorf("readmitted follower got no traffic: %v", served)
+	}
+
+	f2.shutdown(t)
+	f1.shutdown(t)
 	leader.shutdown(t)
 }

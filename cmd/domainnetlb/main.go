@@ -1,0 +1,144 @@
+// Command domainnetlb fronts a domainnetd serving fleet: a zero-dependency
+// read-router that spreads /topk, /score, /stats and /scorers across
+// caught-up follower replicas and forwards everything else — mutations above
+// all — to the leader.
+//
+// Usage:
+//
+//	domainnetlb -leader http://leader:8080 \
+//	            [-replicas http://r1:8080,http://r2:8080] \
+//	            [-addr :8090] [-max-lag 8] [-readmit-lag 4] \
+//	            [-check-interval 2s]
+//
+// The router probes the leader's version and every replica's /repl/status on
+// -check-interval, ejecting a replica whose lag exceeds -max-lag and
+// readmitting it once it has caught back up to -readmit-lag (a hysteresis
+// band, so replicas hovering at the threshold do not flap). A replica that
+// fails a proxied request is ejected immediately. With no replica admitted,
+// reads fall back to the leader. GET /lb/status reports the fleet view; every
+// proxied response carries X-Domainnet-Backend naming the server that
+// actually answered.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"domainnet/internal/router"
+)
+
+// config is the parsed command line, split from main so validation is
+// unit-testable.
+type config struct {
+	addr          string
+	leader        string
+	replicas      []string
+	maxLag        uint64
+	readmitLag    uint64
+	checkInterval time.Duration
+}
+
+func parseFlags(args []string) (*config, error) {
+	c := &config{}
+	var replicas string
+	var maxLag, readmitLag int
+	fs := flag.NewFlagSet("domainnetlb", flag.ContinueOnError)
+	fs.StringVar(&c.addr, "addr", ":8090", "listen address")
+	fs.StringVar(&c.leader, "leader", "", "leader base URL (required)")
+	fs.StringVar(&replicas, "replicas", "", "comma-separated follower base URLs to spread reads across")
+	fs.IntVar(&maxLag, "max-lag", router.DefaultMaxLag, "eject a replica lagging more than this many versions behind the leader")
+	fs.IntVar(&readmitLag, "readmit-lag", 0, "readmit an ejected replica at or below this lag (0 = max-lag/2)")
+	fs.DurationVar(&c.checkInterval, "check-interval", router.DefaultCheckInterval, "health-probe cadence")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.leader == "" {
+		return nil, errors.New("-leader is required")
+	}
+	if maxLag <= 0 {
+		return nil, fmt.Errorf("-max-lag must be positive, got %d", maxLag)
+	}
+	if readmitLag < 0 {
+		return nil, fmt.Errorf("-readmit-lag must be non-negative, got %d", readmitLag)
+	}
+	if readmitLag > maxLag {
+		return nil, fmt.Errorf("-readmit-lag %d exceeds -max-lag %d", readmitLag, maxLag)
+	}
+	if c.checkInterval <= 0 {
+		return nil, fmt.Errorf("-check-interval must be positive, got %v", c.checkInterval)
+	}
+	c.maxLag, c.readmitLag = uint64(maxLag), uint64(readmitLag)
+	for _, r := range strings.Split(replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			c.replicas = append(c.replicas, r)
+		}
+	}
+	return c, nil
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "domainnetlb:", err)
+		}
+		os.Exit(2)
+	}
+	if err := run(c); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(c *config) error {
+	rt, err := router.New(router.Options{
+		Leader:        c.leader,
+		Replicas:      c.replicas,
+		MaxLag:        c.maxLag,
+		ReadmitLag:    c.readmitLag,
+		CheckInterval: c.checkInterval,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx) //nolint:errcheck // exits with ctx; transitions are logged
+
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("domainnetlb: listening on %s", ln.Addr())
+	log.Printf("domainnetlb: routing reads for leader %s across %d replica(s)", c.leader, len(c.replicas))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("domainnetlb: shutting down (again to force)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("domainnetlb: shutdown: %v", err)
+	}
+	return nil
+}

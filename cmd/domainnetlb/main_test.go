@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-leader", "http://leader:8080",
+		"-replicas", "http://r1:8080, http://r2:8080 ,",
+		"-max-lag", "10",
+		"-readmit-lag", "3",
+		"-check-interval", "500ms",
+		"-addr", ":9999",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.leader != "http://leader:8080" || c.addr != ":9999" {
+		t.Errorf("leader %q addr %q", c.leader, c.addr)
+	}
+	if len(c.replicas) != 2 || c.replicas[0] != "http://r1:8080" || c.replicas[1] != "http://r2:8080" {
+		t.Errorf("replicas = %q, want the two trimmed URLs", c.replicas)
+	}
+	if c.maxLag != 10 || c.readmitLag != 3 || c.checkInterval != 500*time.Millisecond {
+		t.Errorf("thresholds = %d/%d/%v", c.maxLag, c.readmitLag, c.checkInterval)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c, err := parseFlags([]string{"-leader", "http://leader:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.maxLag == 0 || c.checkInterval <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if c.readmitLag != 0 {
+		t.Errorf("readmit-lag default = %d, want 0 (router derives max-lag/2)", c.readmitLag)
+	}
+	if len(c.replicas) != 0 {
+		t.Errorf("empty -replicas parsed as %q", c.replicas)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                       // missing leader
+		{"-leader", "http://x", "-max-lag", "0"}, // zero lag budget
+		{"-leader", "http://x", "-max-lag", "-2"},                     // negative
+		{"-leader", "http://x", "-readmit-lag", "-1"},                 // negative
+		{"-leader", "http://x", "-max-lag", "2", "-readmit-lag", "5"}, // inverted band
+		{"-leader", "http://x", "-check-interval", "0s"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%q) succeeded, want an error", args)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"domainnet/internal/serve"
+	"domainnet/internal/table"
+)
+
+// truncWriter passes the first remain body bytes through and silently
+// swallows the rest: the response still ends cleanly at the HTTP layer, so
+// the client sees a frame torn mid-chunk — exactly what a dropped connection
+// leaves behind.
+type truncWriter struct {
+	http.ResponseWriter
+	remain int
+}
+
+func (w *truncWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if w.remain <= 0 {
+		return n, nil
+	}
+	if len(p) > w.remain {
+		p = p[:w.remain]
+	}
+	if _, err := w.ResponseWriter.Write(p); err != nil {
+		return 0, err
+	}
+	w.remain -= len(p)
+	return n, nil
+}
+
+// flakyLeader fronts a leader handler and truncates snapshot responses per
+// the cuts schedule (one entry per snapshot request; missing entries pass
+// everything through). It records every snapshot request URL.
+type flakyLeader struct {
+	inner    http.Handler
+	mu       sync.Mutex
+	cuts     []int // body bytes to let through per snapshot request; -1 = all
+	requests []string
+	between  func() // runs after each truncated response (e.g. mutate leader)
+}
+
+func (fl *flakyLeader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/repl/snapshot" {
+		fl.inner.ServeHTTP(w, r)
+		return
+	}
+	fl.mu.Lock()
+	n := len(fl.requests)
+	fl.requests = append(fl.requests, r.URL.String())
+	cut := -1
+	if n < len(fl.cuts) {
+		cut = fl.cuts[n]
+	}
+	between := fl.between
+	fl.mu.Unlock()
+	if cut < 0 {
+		fl.inner.ServeHTTP(w, r)
+		return
+	}
+	fl.inner.ServeHTTP(&truncWriter{ResponseWriter: w, remain: cut}, r)
+	if between != nil {
+		between()
+	}
+}
+
+func (fl *flakyLeader) snapshotRequests() []string {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return append([]string(nil), fl.requests...)
+}
+
+// growLake applies n tables of two dozen distinct values each, inflating
+// the leader's snapshot to several KiB so chunking tests have room to tear.
+func growLake(t *testing.T, s *serve.Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		vals := make([]string, 24)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("city-%d-%d", i, j)
+		}
+		if _, err := s.Apply([]*table.Table{
+			table.New(fmt.Sprintf("grow%d", i)).AddColumn("city", vals...),
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChunkedBootstrapCompressesWire(t *testing.T) {
+	leader, _, ts := newLeader(t)
+	f := newFollower(ts)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != leader.Version() {
+		t.Fatalf("bootstrap version %d, leader at %d", f.Version(), leader.Version())
+	}
+	st := f.BootstrapStats()
+	if st.RawBytes == 0 || st.WireBytes == 0 {
+		t.Fatalf("bootstrap stats not recorded: %+v", st)
+	}
+	if st.WireBytes >= st.RawBytes {
+		t.Errorf("chunked gzip bootstrap moved %d wire bytes for %d raw bytes — no compression",
+			st.WireBytes, st.RawBytes)
+	}
+	if st.Resumes != 0 || st.Restarts != 0 {
+		t.Errorf("clean bootstrap recorded %d resumes, %d restarts", st.Resumes, st.Restarts)
+	}
+	t.Logf("bootstrap moved %d wire bytes for %d raw bytes (%.1fx)",
+		st.WireBytes, st.RawBytes, float64(st.RawBytes)/float64(st.WireBytes))
+}
+
+func TestBootstrapResumesTornStream(t *testing.T) {
+	leader, ld, ts := newLeader(t)
+	ld.SnapshotChunkBytes = 512
+	// Grow the snapshot well past a handful of chunks so two mid-stream cuts
+	// cannot accidentally deliver the whole thing.
+	growLake(t, leader, 30)
+	// Cut the first two transfers mid-stream; later ones pass everything.
+	fl := &flakyLeader{inner: tsHandler(ts), cuts: []int{600, 600}}
+	proxy := httptest.NewServer(fl)
+	defer proxy.Close()
+
+	f := newFollower(proxy)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := f.BootstrapStats()
+	if st.Resumes < 2 {
+		t.Errorf("two torn streams recorded %d resumes, want >= 2", st.Resumes)
+	}
+	if st.Restarts != 0 {
+		t.Errorf("stable-version resume recorded %d restarts", st.Restarts)
+	}
+	reqs := fl.snapshotRequests()
+	if len(reqs) < 3 {
+		t.Fatalf("bootstrap made %d snapshot requests, want >= 3: %q", len(reqs), reqs)
+	}
+	// Every re-request must resume at a non-zero chunk-aligned offset, not
+	// restart the download.
+	for _, u := range reqs[1:] {
+		if !strings.Contains(u, "offset=") || strings.Contains(u, "offset=0&") {
+			t.Errorf("re-request %q does not resume from a prior offset", u)
+		}
+	}
+	// The replica must be whole: identical ranking to the leader's.
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+	if l, r := body(t, ts.URL+"/topk?k=25"), body(t, fts.URL+"/topk?k=25"); l != r {
+		t.Errorf("resumed bootstrap diverges from leader:\nleader: %s\nfollower: %s", l, r)
+	}
+}
+
+// tsHandler unwraps an httptest server into a handler that forwards to it
+// over its own listener, preserving real HTTP framing end to end.
+func tsHandler(ts *httptest.Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, ts.URL+r.URL.String(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck // test proxy
+	})
+}
+
+func TestBootstrapRestartsWhenSnapshotMoves(t *testing.T) {
+	leader, ld, ts := newLeader(t)
+	ld.SnapshotChunkBytes = 512
+	fl := &flakyLeader{inner: tsHandler(ts), cuts: []int{700}}
+	// After the torn first transfer, the leader moves on: the partial chunks
+	// describe a snapshot version that no longer exists, so the resume must
+	// be refused and the bootstrap must start over at the new version.
+	fl.between = func() { addTable(t, leader, "moved-on") }
+	proxy := httptest.NewServer(fl)
+	defer proxy.Close()
+
+	f := newFollower(proxy)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := f.BootstrapStats()
+	if st.Restarts < 1 {
+		t.Errorf("version-moved resume recorded %d restarts, want >= 1", st.Restarts)
+	}
+	if f.Version() != leader.Version() {
+		t.Errorf("restarted bootstrap landed at version %d, leader at %d", f.Version(), leader.Version())
+	}
+}
+
+func TestBootstrapFailsWithoutProgress(t *testing.T) {
+	// A leader that never delivers a single chunk must fail the bootstrap
+	// (bounded retries), not spin forever.
+	_, ld, ts := newLeader(t)
+	ld.SnapshotChunkBytes = 512
+	fl := &flakyLeader{inner: tsHandler(ts), cuts: []int{0, 0, 0, 0, 0, 0, 0, 0}}
+	proxy := httptest.NewServer(fl)
+	defer proxy.Close()
+
+	f := newFollower(proxy)
+	done := make(chan error, 1)
+	go func() { done <- f.Bootstrap(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("zero-progress bootstrap reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("zero-progress bootstrap did not terminate")
+	}
+}
+
+func TestRawBootstrapToggle(t *testing.T) {
+	leader, _, ts := newLeader(t)
+	f := newFollower(ts)
+	f.RawBootstrap = true
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != leader.Version() {
+		t.Fatalf("raw bootstrap version %d, leader at %d", f.Version(), leader.Version())
+	}
+	st := f.BootstrapStats()
+	if st.WireBytes == 0 || st.WireBytes != st.RawBytes {
+		t.Errorf("raw bootstrap should move exactly the codec bytes, got wire %d raw %d",
+			st.WireBytes, st.RawBytes)
+	}
+}
+
+func TestSnapshotEndpointProtocol(t *testing.T) {
+	_, _, ts := newLeader(t)
+	get := func(path, acceptEnc string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if acceptEnc != "" {
+			req.Header.Set("Accept-Encoding", acceptEnc)
+		}
+		resp, err := http.DefaultTransport.RoundTrip(req) // no implicit gzip header
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	legacy := get("/repl/snapshot", "")
+	if legacy.StatusCode != http.StatusOK || legacy.Header.Get(SnapshotChunkedHeader) != "" {
+		t.Errorf("plain snapshot = %d with chunked header %q, want raw 200",
+			legacy.StatusCode, legacy.Header.Get(SnapshotChunkedHeader))
+	}
+	if legacy.ContentLength <= 0 {
+		t.Errorf("plain snapshot lost its Content-Length (%d)", legacy.ContentLength)
+	}
+
+	chunked := get("/repl/snapshot?chunked=1", "gzip")
+	if chunked.Header.Get(SnapshotChunkedHeader) == "" || chunked.Header.Get(SnapshotEncodingHeader) != "gzip" {
+		t.Errorf("chunked gzip request got headers chunked=%q encoding=%q",
+			chunked.Header.Get(SnapshotChunkedHeader), chunked.Header.Get(SnapshotEncodingHeader))
+	}
+	if chunked.Header.Get(SnapshotSizeHeader) == "" || chunked.Header.Get(VersionHeader) == "" {
+		t.Error("chunked response is missing size or version headers")
+	}
+
+	identity := get("/repl/snapshot?chunked=1", "identity")
+	if identity.Header.Get(SnapshotEncodingHeader) != "identity" {
+		t.Errorf("identity request negotiated %q", identity.Header.Get(SnapshotEncodingHeader))
+	}
+	if q0 := get("/repl/snapshot?chunked=1", "gzip;q=0"); q0.Header.Get(SnapshotEncodingHeader) != "identity" {
+		t.Errorf("gzip;q=0 negotiated %q", q0.Header.Get(SnapshotEncodingHeader))
+	}
+
+	if resp := get("/repl/snapshot?chunked=1&offset=512", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("offset without version = %d, want 400", resp.StatusCode)
+	}
+	if resp := get("/repl/snapshot?chunked=1&offset=512&version=99999", ""); resp.StatusCode != http.StatusConflict {
+		t.Errorf("offset at a stale version = %d, want 409", resp.StatusCode)
+	}
+	cur := chunked.Header.Get(VersionHeader)
+	if resp := get("/repl/snapshot?chunked=1&offset=7&version="+cur, ""); resp.StatusCode != http.StatusConflict {
+		t.Errorf("misaligned offset = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestFollowerStatusEndpoint(t *testing.T) {
+	leader, _, ts := newLeader(t)
+	f := newFollower(ts)
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+
+	readStatus := func() Status {
+		t.Helper()
+		resp, err := http.Get(fts.URL + "/repl/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/repl/status = %d", resp.StatusCode)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Before bootstrap: the endpoint must answer (it is the router's probe)
+	// even while every other path 503s.
+	if st := readStatus(); st.State != "bootstrapping" || st.Version != 0 {
+		t.Errorf("pre-bootstrap status = %+v, want bootstrapping at version 0", st)
+	}
+	resp, err := http.Get(fts.URL + "/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("pre-bootstrap /topk = %d, want 503", resp.StatusCode)
+	}
+
+	ctx := context.Background()
+	if err := f.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := readStatus(); st.State != "serving" || st.Version != leader.Version() ||
+		st.LeaderVersion != leader.Version() || st.Lag != 0 {
+		t.Errorf("post-bootstrap status = %+v, want serving at leader version with zero lag", st)
+	}
+
+	// A poll that applies bursts refreshes both versions.
+	addTable(t, leader, "status-1")
+	want := addTable(t, leader, "status-2")
+	if _, err := f.Poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := readStatus(); st.Version != want || st.LeaderVersion != want || st.Lag != 0 {
+		t.Errorf("post-poll status = %+v, want both versions at %d", st, want)
+	}
+}
+
+func TestChangesIdlePollCarriesVersion(t *testing.T) {
+	leader, _, ts := newLeader(t)
+	ver := strconv.FormatUint(leader.Version(), 10)
+	resp, err := http.Get(ts.URL + "/repl/changes?from=" + ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("caught-up poll = %d, want 204", resp.StatusCode)
+	}
+	if got := resp.Header.Get(VersionHeader); got != ver {
+		t.Errorf("204 version header = %q, want %s — followers derive lag from it", got, ver)
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	prevHigh := time.Duration(0)
+	for fail := 1; fail <= 8; fail++ {
+		ideal := min(base<<(fail-1), max)
+		low := backoffDelay(base, max, fail, 0)
+		high := backoffDelay(base, max, fail, 0.999999)
+		if low != ideal-ideal/4 {
+			t.Errorf("fail %d rnd 0: got %v, want %v", fail, low, ideal-ideal/4)
+		}
+		if high < ideal || high > ideal+ideal/4 {
+			t.Errorf("fail %d rnd ~1: got %v, want within [%v, %v]", fail, high, ideal, ideal+ideal/4)
+		}
+		if high < prevHigh {
+			t.Errorf("fail %d: backoff shrank (%v after %v)", fail, high, prevHigh)
+		}
+		prevHigh = high
+	}
+	// Deep failure counts must pin at the cap, jitter aside.
+	if d := backoffDelay(base, max, 1000, 0.5); d < max-max/4 || d > max+max/4 {
+		t.Errorf("deep failure backoff = %v, want about %v", d, max)
+	}
+	// Zero-value config falls back to sane defaults.
+	if d := backoffDelay(0, 0, 1, 0.5); d != time.Second {
+		t.Errorf("default base backoff = %v, want 1s", d)
+	}
+}

@@ -2,10 +2,13 @@ package repl
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -24,13 +27,18 @@ var ErrBehindHorizon = fmt.Errorf("repl: follower is behind the leader's log hor
 // and must be rebuilt from a snapshot.
 var ErrDiverged = fmt.Errorf("repl: follower state diverged from the leader")
 
-// Follower replicates a leader's lake: it bootstraps from /repl/snapshot,
-// then tails /repl/changes and applies each burst through serve.Apply — the
-// same validation and incremental-rebuild path the leader's writes took, so
+// DefaultMaxRetryDelay caps the follower's exponential reconnect backoff.
+const DefaultMaxRetryDelay = 30 * time.Second
+
+// Follower replicates a leader's lake: it bootstraps from /repl/snapshot
+// (chunked, per-chunk-gzipped and resumable by default — a transfer torn at
+// raw offset N re-requests from N instead of starting over), then tails
+// /repl/changes and applies each burst through serve.Apply — the same
+// validation and incremental-rebuild path the leader's writes took, so
 // replica state is bit-identical at every version. It implements
 // http.Handler, serving the read endpoints from its current replica (503
-// until the first bootstrap completes) and rejecting mutations (the replica
-// server is read-only).
+// until the first bootstrap completes, except /repl/status, which always
+// answers) and rejecting mutations (the replica server is read-only).
 type Follower struct {
 	// Leader is the leader's base URL, e.g. "http://10.0.0.1:8080".
 	Leader string
@@ -45,20 +53,120 @@ type Follower struct {
 	// Logf, when non-nil, receives operational events (bootstraps, resyncs,
 	// retries). log.Printf fits.
 	Logf func(format string, args ...any)
-	// RetryDelay paces reconnection after transport errors; default 1s.
+	// RetryDelay is the base of the reconnect backoff: the first retry waits
+	// about this long and each consecutive failure doubles the wait, up to
+	// MaxRetryDelay, with jitter so a fleet that lost the same leader does
+	// not reconnect in lockstep. Default 1s.
 	RetryDelay time.Duration
+	// MaxRetryDelay caps the backoff; default DefaultMaxRetryDelay.
+	MaxRetryDelay time.Duration
 	// WarmMeasures enables the replica's background ranking warmer, exactly
 	// like serve.Options.WarmMeasures on a primary: a read-only replica is
 	// the read-heavy deployment shape, so pre-warming after every applied
 	// burst is where the warmer pays off most.
 	WarmMeasures []domainnet.Measure
+	// RawBootstrap forces the legacy whole-snapshot raw stream instead of
+	// the chunked resumable transfer: the bench baseline, and an escape
+	// hatch. (A leader predating the chunk protocol needs no flag — the
+	// default path detects the raw response and decodes it as-is.)
+	RawBootstrap bool
 
 	srv atomic.Pointer[serve.Server]
+
+	// Last version observed on any leader response; feeds Status().Lag.
+	leaderVer atomic.Uint64
+	// Transfer counters for the most recent bootstrap (see BootstrapStats).
+	bootWire     atomic.Int64
+	bootRaw      atomic.Int64
+	bootResumes  atomic.Int64
+	bootRestarts atomic.Int64
+}
+
+// BootstrapStats describes the most recent bootstrap's transfer: how many
+// framed bytes actually crossed the network for how many bytes of snapshot
+// codec, and how often the transfer was resumed (stream torn mid-flight,
+// picked up from the last whole chunk) or restarted (the leader's snapshot
+// version moved, invalidating the partial download).
+type BootstrapStats struct {
+	WireBytes int64 `json:"wire_bytes"`
+	RawBytes  int64 `json:"raw_bytes"`
+	Resumes   int64 `json:"resumes"`
+	Restarts  int64 `json:"restarts"`
+}
+
+// BootstrapStats reports the most recent (or in-progress) bootstrap's
+// transfer counters.
+func (f *Follower) BootstrapStats() BootstrapStats {
+	return BootstrapStats{
+		WireBytes: f.bootWire.Load(),
+		RawBytes:  f.bootRaw.Load(),
+		Resumes:   f.bootResumes.Load(),
+		Restarts:  f.bootRestarts.Load(),
+	}
+}
+
+// Status is the follower's health report, served at /repl/status: what the
+// read-router probes to decide whether this replica is caught up enough to
+// take traffic.
+type Status struct {
+	// State is "bootstrapping" until the first snapshot is installed, then
+	// "serving".
+	State string `json:"state"`
+	// Version is the replica's applied version; zero before bootstrap.
+	Version uint64 `json:"version"`
+	// LeaderVersion is the newest version observed on any leader response;
+	// zero until the first successful exchange.
+	LeaderVersion uint64 `json:"leader_version"`
+	// Lag is LeaderVersion - Version when positive (bursts the replica has
+	// not applied yet), else zero.
+	Lag       uint64         `json:"lag"`
+	Bootstrap BootstrapStats `json:"bootstrap"`
+}
+
+// Status reports the follower's current health.
+func (f *Follower) Status() Status {
+	st := Status{
+		State:         "serving",
+		Version:       f.Version(),
+		LeaderVersion: f.leaderVer.Load(),
+		Bootstrap:     f.BootstrapStats(),
+	}
+	if f.srv.Load() == nil {
+		st.State = "bootstrapping"
+	}
+	if st.LeaderVersion > st.Version {
+		st.Lag = st.LeaderVersion - st.Version
+	}
+	return st
+}
+
+func (f *Follower) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := f.Status()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(VersionHeader, strconv.FormatUint(st.Version, 10))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st) //nolint:errcheck // the response is already committed
 }
 
 func (f *Follower) logf(format string, args ...any) {
 	if f.Logf != nil {
 		f.Logf(format, args...)
+	}
+}
+
+// observeLeader records the version header of a leader response, keeping the
+// high-water mark (responses can race each other).
+func (f *Follower) observeLeader(h http.Header) {
+	v, err := strconv.ParseUint(h.Get(VersionHeader), 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := f.leaderVer.Load()
+		if v <= cur || f.leaderVer.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -74,6 +182,17 @@ func (f *Follower) client() *http.Client {
 	return defaultClient
 }
 
+// snapshotClient derives the bootstrap client: the configured client's
+// timeout is sized for the change feed's long-poll, and a whole-snapshot
+// download of a large lake must not race it, or bootstrap would time out
+// mid-stream on every attempt. Same transport, no overall deadline —
+// cancellation comes from ctx.
+func (f *Follower) snapshotClient() *http.Client {
+	client := *f.client()
+	client.Timeout = 0
+	return &client
+}
+
 // Server returns the current replica server, or nil before the first
 // successful bootstrap.
 func (f *Follower) Server() *serve.Server { return f.srv.Load() }
@@ -86,8 +205,14 @@ func (f *Follower) Version() uint64 {
 	return 0
 }
 
-// ServeHTTP serves reads from the current replica.
+// ServeHTTP serves reads from the current replica. /repl/status is answered
+// directly — before bootstrap too, so a router probing a joining replica
+// sees "bootstrapping" rather than an opaque 503.
 func (f *Follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/repl/status" {
+		f.handleStatus(w, r)
+		return
+	}
 	s := f.srv.Load()
 	if s == nil {
 		http.Error(w, "replica is bootstrapping from the leader", http.StatusServiceUnavailable)
@@ -96,32 +221,8 @@ func (f *Follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.ServeHTTP(w, r)
 }
 
-// Bootstrap fetches a full snapshot from the leader and replaces the
-// replica with it. Deltas past the snapshot arrive through the next Poll.
-func (f *Follower) Bootstrap(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Leader+"/repl/snapshot", nil)
-	if err != nil {
-		return fmt.Errorf("repl: %w", err)
-	}
-	// The configured client's timeout is sized for the change feed's
-	// long-poll; a whole-snapshot download of a large lake must not race
-	// it, or bootstrap would time out mid-stream on every attempt. Same
-	// transport, no overall deadline — cancellation comes from ctx.
-	client := *f.client()
-	client.Timeout = 0
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("repl: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, body)
-	}
-	sn, err := persist.Decode(resp.Body)
-	if err != nil {
-		return err
-	}
+// install replaces the replica with a decoded snapshot.
+func (f *Follower) install(sn *persist.Snapshot) {
 	// Replication promises bit-identical state at every version, so the
 	// replica must score over the leader's graph semantics, not its own
 	// configuration: adopt the streamed graph's KeepSingletons. Without
@@ -140,6 +241,174 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 	}
 	f.logf("repl: bootstrapped from %s at version %d (%d tables)",
 		f.Leader, srv.Version(), sn.Lake.NumTables())
+}
+
+// Bootstrap fetches a full snapshot from the leader and replaces the
+// replica with it. Deltas past the snapshot arrive through the next Poll.
+//
+// The default transfer is chunked: the leader frames the snapshot codec
+// into CRC'd, individually gzipped chunks, and a stream torn mid-transfer
+// is re-requested from the last whole chunk's raw offset instead of from
+// zero. Internal resume attempts must make progress — two failures in a row
+// with no new bytes in between surface the error to the caller, whose
+// backoff takes over.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	f.bootWire.Store(0)
+	f.bootRaw.Store(0)
+	f.bootResumes.Store(0)
+	f.bootRestarts.Store(0)
+	if f.RawBootstrap {
+		return f.bootstrapRaw(ctx)
+	}
+	return f.bootstrapChunked(ctx)
+}
+
+// bootstrapRaw is the legacy transfer: one unframed, uncompressed codec
+// stream, all-or-nothing.
+func (f *Follower) bootstrapRaw(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Leader+"/repl/snapshot", nil)
+	if err != nil {
+		return fmt.Errorf("repl: %w", err)
+	}
+	resp, err := f.snapshotClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, body)
+	}
+	f.observeLeader(resp.Header)
+	sn, err := persist.Decode(countReader{resp.Body, &f.bootWire})
+	if err != nil {
+		return err
+	}
+	f.bootRaw.Store(f.bootWire.Load()) // unframed: wire bytes are codec bytes
+	f.install(sn)
+	return nil
+}
+
+// countReader counts bytes read into an atomic — the wire-byte meter of the
+// raw bootstrap path.
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (f *Follower) bootstrapChunked(ctx context.Context) error {
+	client := f.snapshotClient()
+	var (
+		buf     []byte // whole chunks accumulated so far (always chunk-aligned)
+		version uint64 // snapshot version the accumulated chunks belong to
+		total   = -1   // raw snapshot size from SnapshotSizeHeader
+	)
+	// Every retry inside this loop must be justified by progress: a failure
+	// with no new bytes since the previous failure returns to the caller
+	// instead of spinning against a dead or unreachable leader.
+	progressed := true
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		url := f.Leader + "/repl/snapshot?chunked=1"
+		resuming := len(buf) > 0
+		if resuming {
+			url += fmt.Sprintf("&offset=%d&version=%d", len(buf), version)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return fmt.Errorf("repl: %w", err)
+		}
+		req.Header.Set("Accept-Encoding", "gzip")
+		resp, err := client.Do(req)
+		if err != nil {
+			if !progressed {
+				return fmt.Errorf("repl: %w", err)
+			}
+			progressed = false
+			f.bootResumes.Add(1)
+			f.logf("repl: snapshot fetch failed at offset %d (resuming): %v", len(buf), err)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusConflict:
+			// The leader's snapshot moved past the version our chunks belong
+			// to; they describe a state that no longer exists. Start over.
+			resp.Body.Close()
+			if !resuming {
+				return fmt.Errorf("repl: snapshot fetch: unexpected conflict on a fresh request")
+			}
+			f.bootRestarts.Add(1)
+			f.logf("repl: snapshot version moved past %d; restarting bootstrap from scratch", version)
+			buf, version, total = nil, 0, -1
+			progressed = true // the leader answered; this attempt was live
+			continue
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("repl: snapshot fetch: %s: %s", resp.Status, body)
+		}
+		f.observeLeader(resp.Header)
+		if resp.Header.Get(SnapshotChunkedHeader) == "" {
+			// A leader predating the chunk protocol ignores the query and
+			// streams the raw codec; decode it as-is (resume never arises —
+			// this branch is always the first attempt).
+			sn, err := persist.Decode(countReader{resp.Body, &f.bootWire})
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			f.bootRaw.Store(f.bootWire.Load())
+			f.install(sn)
+			return nil
+		}
+		if n, err := strconv.Atoi(resp.Header.Get(SnapshotSizeHeader)); err == nil {
+			total = n
+		}
+		version, _ = strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64)
+		var readErr error
+		for {
+			chunk, wire, err := persist.ReadChunk(resp.Body)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				break
+			}
+			buf = append(buf, chunk...)
+			f.bootWire.Add(int64(wire))
+			progressed = true
+		}
+		resp.Body.Close()
+		if readErr != nil || (total >= 0 && len(buf) < total) {
+			if !progressed {
+				if readErr == nil {
+					readErr = fmt.Errorf("repl: snapshot stream ended at %d of %d bytes", len(buf), total)
+				}
+				return fmt.Errorf("repl: %w", readErr)
+			}
+			progressed = false
+			f.bootResumes.Add(1)
+			f.logf("repl: snapshot stream broke at offset %d of %d (resuming): %v", len(buf), total, readErr)
+			continue
+		}
+		break
+	}
+	f.bootRaw.Store(int64(len(buf)))
+	sn, err := persist.Unmarshal(buf)
+	if err != nil {
+		return err
+	}
+	f.install(sn)
 	return nil
 }
 
@@ -163,6 +432,7 @@ func (f *Follower) Poll(ctx context.Context) (int, error) {
 		return 0, fmt.Errorf("repl: %w", err)
 	}
 	defer resp.Body.Close()
+	f.observeLeader(resp.Header)
 	switch resp.StatusCode {
 	case http.StatusNoContent:
 		return 0, nil
@@ -211,23 +481,50 @@ func (f *Follower) Poll(ctx context.Context) (int, error) {
 	}
 }
 
+// backoffDelay computes the wait before retry number failures (1-based):
+// base doubled per consecutive failure, capped at max, then jittered ±25%
+// by rnd (a [0,1) sample) so a fleet of followers that lost the same leader
+// spreads its reconnections instead of hammering it in lockstep. Pure —
+// callers supply the randomness.
+func backoffDelay(base, max time.Duration, failures int, rnd float64) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	if max <= 0 {
+		max = DefaultMaxRetryDelay
+	}
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d + time.Duration((rnd-0.5)*0.5*float64(d))
+}
+
 // Run replicates until ctx is cancelled: bootstrap (with retries), then
 // poll forever, re-bootstrapping whenever the replica falls behind the
-// leader's log horizon or diverges. During a re-bootstrap the previous
-// replica keeps serving — it is a consistent stale snapshot, which the
-// consistency model permits — and is swapped out only when the new one is
-// ready. On exit the current replica's in-flight background warm (if any)
-// is cancelled — the replica itself keeps serving its snapshot. Run
-// returns ctx.Err().
+// leader's log horizon or diverges. Consecutive failures back off
+// exponentially from RetryDelay up to MaxRetryDelay, with jitter; any
+// success resets the backoff. During a re-bootstrap the previous replica
+// keeps serving — it is a consistent stale snapshot, which the consistency
+// model permits — and is swapped out only when the new one is ready. On
+// exit the current replica's in-flight background warm (if any) is
+// cancelled — the replica itself keeps serving its snapshot. Run returns
+// ctx.Err().
 func (f *Follower) Run(ctx context.Context) error {
 	defer func() {
 		if s := f.srv.Load(); s != nil {
 			s.Close()
 		}
 	}()
-	delay := f.RetryDelay
-	if delay <= 0 {
-		delay = time.Second
+	failures := 0
+	pause := func(err error, what string) {
+		failures++
+		d := backoffDelay(f.RetryDelay, f.MaxRetryDelay, failures, rand.Float64())
+		f.logf("repl: %s failed (retry %d in %v): %v", what, failures, d, err)
+		sleep(ctx, d)
 	}
 	for ctx.Err() == nil {
 		if f.srv.Load() == nil {
@@ -235,25 +532,26 @@ func (f *Follower) Run(ctx context.Context) error {
 				if ctx.Err() != nil {
 					break
 				}
-				f.logf("repl: bootstrap failed (retrying in %v): %v", delay, err)
-				sleep(ctx, delay)
+				pause(err, "bootstrap")
 				continue
 			}
+			failures = 0
 		}
 		switch _, err := f.Poll(ctx); {
 		case err == nil:
+			failures = 0
 		case errors.Is(err, ErrBehindHorizon), errors.Is(err, ErrDiverged):
 			f.logf("repl: %v; re-bootstrapping from snapshot", err)
 			if err := f.Bootstrap(ctx); err != nil && ctx.Err() == nil {
-				f.logf("repl: re-bootstrap failed (retrying in %v): %v", delay, err)
-				sleep(ctx, delay)
+				pause(err, "re-bootstrap")
+			} else if err == nil {
+				failures = 0
 			}
 		default:
 			if ctx.Err() != nil {
 				break
 			}
-			f.logf("repl: poll failed (retrying in %v): %v", delay, err)
-			sleep(ctx, delay)
+			pause(err, "poll")
 		}
 	}
 	return ctx.Err()

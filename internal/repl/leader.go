@@ -13,7 +13,15 @@
 //	                                   up, 410 Gone when <version> is behind
 //	                                   the log horizon (fetch a snapshot)
 //	GET /repl/snapshot                 streams the persist codec (the same
-//	                                   bytes a disk checkpoint writes)
+//	                                   bytes a disk checkpoint writes);
+//	                                   with ?chunked=1[&offset=N&version=V]
+//	                                   the codec is framed into CRC'd,
+//	                                   per-chunk-gzipped chunks resumable at
+//	                                   raw offset N (409 when V moved)
+//	GET /repl/status                   served by followers: applied version,
+//	                                   last seen leader version, lag, and
+//	                                   bootstrap progress — the read-router's
+//	                                   health probe
 //
 // Consistency model: followers are sequentially consistent with the leader's
 // burst history and eventually current — a read hitting a follower may see a
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,7 +46,23 @@ import (
 )
 
 // VersionHeader carries the version a replication response was produced at.
-const VersionHeader = "X-Domainnet-Version"
+// It is the same header the serving layer stamps on every read response.
+const VersionHeader = serve.VersionHeader
+
+// Headers of the chunked snapshot protocol.
+const (
+	// SnapshotSizeHeader carries the raw (uncompressed, unframed) snapshot
+	// byte count, so a resuming follower knows when it has everything.
+	SnapshotSizeHeader = "X-Domainnet-Snapshot-Size"
+	// SnapshotChunkedHeader marks a response body framed with the persist
+	// chunk codec; its absence means a legacy raw codec stream.
+	SnapshotChunkedHeader = "X-Domainnet-Snapshot-Chunked"
+	// SnapshotEncodingHeader reports the per-chunk payload encoding the
+	// leader negotiated from the request's Accept-Encoding (gzip or
+	// identity). Deliberately not Content-Encoding: the body is not one
+	// gzip stream, and stock HTTP middleware must not try to inflate it.
+	SnapshotEncodingHeader = "X-Domainnet-Snapshot-Encoding"
+)
 
 // DefaultPollTimeout bounds how long /repl/changes holds an idle long-poll
 // before answering 204; followers re-poll immediately, so the value trades
@@ -60,10 +85,21 @@ type Leader struct {
 	// TailCache overrides DefaultTailCache when positive. Set before the
 	// first commit.
 	TailCache int
+	// SnapshotChunkBytes overrides persist.DefaultChunkBytes for the chunked
+	// snapshot stream when positive. Tests use small chunks to exercise
+	// resume without megabyte fixtures; production leaves the default.
+	SnapshotChunkBytes int
 
 	mu   sync.Mutex
 	ch   chan struct{} // closed and replaced on every commit (broadcast)
 	tail []tailEntry   // ring of the most recent commits, oldest first
+
+	// snapMu guards the marshaled-snapshot cache below. A bootstrap storm (a
+	// fleet joining at once, or one follower resuming a torn stream several
+	// times) marshals the snapshot once per version, not once per request.
+	snapMu  sync.Mutex
+	snapVer uint64
+	snapRaw []byte
 }
 
 // tailEntry is one ring slot: the burst's version stamps plus its frame
@@ -212,6 +248,9 @@ func (ld *Leader) handleChanges(w http.ResponseWriter, r *http.Request) {
 			case <-signal:
 				continue
 			case <-deadline.C:
+				// The version stamp on an empty poll is what lets followers
+				// report accurate lag (they are, by construction, caught up).
+				w.Header().Set(VersionHeader, strconv.FormatUint(ld.srv.Version(), 10))
 				w.WriteHeader(http.StatusNoContent)
 				return
 			case <-r.Context().Done():
@@ -249,6 +288,7 @@ func (ld *Leader) handleChanges(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-signal:
 		case <-deadline.C:
+			w.Header().Set(VersionHeader, strconv.FormatUint(ld.srv.Version(), 10))
 			w.WriteHeader(http.StatusNoContent)
 			return
 		case <-r.Context().Done():
@@ -257,11 +297,19 @@ func (ld *Leader) handleChanges(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSnapshot streams the leader's full state in the persist codec. The
-// marshal runs under the server's write lock (Checkpoint), so the stream is
-// a consistent burst-boundary snapshot; the network write happens after the
-// lock is released.
-func (ld *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+// snapshotBytes returns the persist codec bytes of the leader's current
+// state, marshaling at most once per version: the marshal itself runs under
+// the server's write lock (Checkpoint), so the bytes are a consistent
+// burst-boundary snapshot, and repeat requests at the same version — a fleet
+// bootstrapping at once, a follower resuming a torn stream — are served from
+// the cached buffer. The buffer is immutable once cached; handlers slice it
+// but never write through it.
+func (ld *Leader) snapshotBytes() ([]byte, uint64, error) {
+	ld.snapMu.Lock()
+	defer ld.snapMu.Unlock()
+	if ld.snapRaw != nil && ld.snapVer == ld.srv.Version() {
+		return ld.snapRaw, ld.snapVer, nil
+	}
 	var buf []byte
 	var version uint64
 	err := ld.srv.Checkpoint(func(l *lake.Lake, g *bipartite.Graph) error {
@@ -270,11 +318,94 @@ func (ld *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		return nil, 0, err
+	}
+	ld.snapRaw, ld.snapVer = buf, version
+	return buf, version, nil
+}
+
+// acceptsGzip reports whether an Accept-Encoding header admits gzip: a
+// "gzip" or "*" member whose quality is not explicitly zero.
+func acceptsGzip(header string) bool {
+	for header != "" {
+		var part string
+		part, header, _ = strings.Cut(header, ",")
+		name, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if name = strings.TrimSpace(name); name != "gzip" && name != "*" {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && v == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// handleSnapshot streams the leader's full state in the persist codec,
+// marshaled at most once per version (snapshotBytes); the network write
+// happens outside the server's write lock.
+//
+// A plain request gets the raw codec with a Content-Length, exactly as
+// before. With ?chunked=1 the body is framed by the persist chunk codec —
+// every chunk independently CRC'd and, when the request advertises
+// Accept-Encoding: gzip, independently compressed — and ?offset=N&version=V
+// resumes a torn transfer at raw offset N. The answer is 409 Conflict when
+// the leader's snapshot has moved past V or N does not land on a chunk
+// boundary; the follower restarts from offset zero.
+func (ld *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	buf, version, err := ld.snapshotBytes()
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	q := r.URL.Query()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
-	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
-	w.Write(buf) //nolint:errcheck // the response is already committed
+	w.Header().Set(SnapshotSizeHeader, strconv.Itoa(len(buf)))
+	if q.Get("chunked") == "" {
+		w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+		w.Write(buf) //nolint:errcheck // the response is already committed
+		return
+	}
+	chunk := ld.SnapshotChunkBytes
+	if chunk <= 0 {
+		chunk = persist.DefaultChunkBytes
+	}
+	offset := 0
+	if s := q.Get("offset"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 31)
+		if err != nil {
+			http.Error(w, "invalid offset parameter", http.StatusBadRequest)
+			return
+		}
+		offset = int(n)
+	}
+	if offset != 0 {
+		want, err := strconv.ParseUint(q.Get("version"), 10, 64)
+		if err != nil {
+			http.Error(w, "resuming at an offset requires the version parameter", http.StatusBadRequest)
+			return
+		}
+		if want != version {
+			http.Error(w, fmt.Sprintf("snapshot moved from version %d to %d; restart the bootstrap", want, version),
+				http.StatusConflict)
+			return
+		}
+		if offset > len(buf) || offset%chunk != 0 {
+			http.Error(w, fmt.Sprintf("offset %d is not a chunk boundary of a %d-byte snapshot", offset, len(buf)),
+				http.StatusConflict)
+			return
+		}
+	}
+	compress := acceptsGzip(r.Header.Get("Accept-Encoding"))
+	w.Header().Set(SnapshotChunkedHeader, "1")
+	enc := "identity"
+	if compress {
+		enc = "gzip"
+	}
+	w.Header().Set(SnapshotEncodingHeader, enc)
+	persist.WriteChunked(w, buf, offset, chunk, compress) //nolint:errcheck // the response is already committed
 }

@@ -1,0 +1,395 @@
+// Package router is the serving fleet's front door: a thin stdlib reverse
+// proxy that spreads the read endpoints (/topk, /score, /stats, /scorers)
+// across caught-up follower replicas and forwards everything else — the
+// mutation endpoints above all — to the leader.
+//
+// Health is probed, not inferred: every CheckInterval the router reads the
+// leader's version (the X-Domainnet-Version header any read endpoint
+// stamps) and each replica's /repl/status, and admits a replica only while
+// it is serving and within the lag budget. Ejection and readmission use a
+// hysteresis band — a replica is ejected when its lag exceeds MaxLag but
+// readmitted only once it has caught back up to ReadmitLag — so a replica
+// hovering at the threshold does not flap in and out of rotation. A
+// transport error on a proxied request ejects the backend immediately; the
+// next probe readmits it when it recovers. With no replica admitted, reads
+// fall back to the leader, so the router degrades to a plain proxy rather
+// than an outage.
+//
+// GET /lb/status reports the router's own view of the fleet.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"domainnet/internal/repl"
+	"domainnet/internal/serve"
+)
+
+// BackendHeader names the response header carrying the backend URL a
+// proxied request was actually served by — the observable for spread tests
+// and for debugging stale reads.
+const BackendHeader = "X-Domainnet-Backend"
+
+// DefaultMaxLag is the eject threshold: a replica more than this many
+// versions behind the leader leaves the read rotation.
+const DefaultMaxLag = 8
+
+// DefaultCheckInterval paces the health-probe loop.
+const DefaultCheckInterval = 2 * time.Second
+
+// readPaths are the endpoints safe to serve from any caught-up replica:
+// snapshot reads, stamped with the version they reflect.
+var readPaths = map[string]bool{
+	"/topk":    true,
+	"/score":   true,
+	"/stats":   true,
+	"/scorers": true,
+}
+
+// Options configures a Router.
+type Options struct {
+	// Leader is the leader's base URL. Required.
+	Leader string
+	// Replicas are the follower base URLs to spread reads across.
+	Replicas []string
+	// MaxLag ejects a replica whose version trails the leader's by more
+	// than this many bursts. Default DefaultMaxLag.
+	MaxLag uint64
+	// ReadmitLag readmits an ejected replica once its lag is at or below
+	// this. Default MaxLag/2. Must not exceed MaxLag.
+	ReadmitLag uint64
+	// CheckInterval paces Run's probe loop. Default DefaultCheckInterval.
+	CheckInterval time.Duration
+	// Client performs the health probes. Default: 2s timeout.
+	Client *http.Client
+	// Logf, when non-nil, receives eject/readmit transitions. log.Printf
+	// fits.
+	Logf func(format string, args ...any)
+}
+
+// backend is one proxied upstream plus its latest probe verdict. The probe
+// fields are guarded by Router.mu; the serving path never reads them — it
+// only loads the admitted snapshot slice.
+type backend struct {
+	url   string
+	proxy *httputil.ReverseProxy
+
+	admitted bool
+	version  uint64
+	lag      uint64
+	state    string
+	lastErr  string
+}
+
+// Router implements http.Handler over a leader and a set of replicas.
+type Router struct {
+	opts     Options
+	leader   *backend
+	replicas []*backend
+
+	mu        sync.Mutex
+	admitted  atomic.Pointer[[]*backend] // read rotation, rebuilt after probes
+	rr        atomic.Uint64              // round-robin cursor
+	leaderVer atomic.Uint64              // newest version seen on the leader
+}
+
+// New builds a router over the fleet. It does not probe; replicas join the
+// rotation on the first CheckNow (or Run tick).
+func New(opts Options) (*Router, error) {
+	if opts.Leader == "" {
+		return nil, fmt.Errorf("router: a leader URL is required")
+	}
+	if opts.MaxLag == 0 {
+		opts.MaxLag = DefaultMaxLag
+	}
+	if opts.ReadmitLag == 0 {
+		opts.ReadmitLag = opts.MaxLag / 2
+	}
+	if opts.ReadmitLag > opts.MaxLag {
+		return nil, fmt.Errorf("router: readmit lag %d exceeds max lag %d — replicas would readmit already ejectable",
+			opts.ReadmitLag, opts.MaxLag)
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = DefaultCheckInterval
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	rt := &Router{opts: opts}
+	var err error
+	if rt.leader, err = rt.newBackend(opts.Leader); err != nil {
+		return nil, err
+	}
+	for _, raw := range opts.Replicas {
+		b, err := rt.newBackend(raw)
+		if err != nil {
+			return nil, err
+		}
+		rt.replicas = append(rt.replicas, b)
+	}
+	rt.admitted.Store(&[]*backend{})
+	return rt, nil
+}
+
+func (rt *Router) newBackend(raw string) (*backend, error) {
+	raw = strings.TrimRight(raw, "/")
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("router: backend %q is not an absolute URL", raw)
+	}
+	b := &backend{url: raw, state: "unprobed"}
+	b.proxy = httputil.NewSingleHostReverseProxy(u)
+	b.proxy.ModifyResponse = func(resp *http.Response) error {
+		resp.Header.Set(BackendHeader, b.url)
+		return nil
+	}
+	b.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		// The backend failed a live request; don't wait for the next probe
+		// to stop sending traffic its way.
+		rt.eject(b, err)
+		http.Error(w, fmt.Sprintf("router: backend %s: %v", b.url, err), http.StatusBadGateway)
+	}
+	return b, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// eject drops a backend from the rotation immediately (proxy error path).
+func (rt *Router) eject(b *backend, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b.lastErr = err.Error()
+	if !b.admitted {
+		return
+	}
+	b.admitted = false
+	rt.rebuildLocked()
+	rt.logf("router: ejected %s (request failed: %v)", b.url, err)
+}
+
+// rebuildLocked re-snapshots the admitted slice. Callers hold rt.mu.
+func (rt *Router) rebuildLocked() {
+	admitted := make([]*backend, 0, len(rt.replicas))
+	for _, b := range rt.replicas {
+		if b.admitted {
+			admitted = append(admitted, b)
+		}
+	}
+	rt.admitted.Store(&admitted)
+}
+
+// pick returns the next admitted replica, or the leader when none is.
+func (rt *Router) pick() *backend {
+	admitted := *rt.admitted.Load()
+	if len(admitted) == 0 {
+		return rt.leader
+	}
+	return admitted[rt.rr.Add(1)%uint64(len(admitted))]
+}
+
+// ServeHTTP routes one request: safe snapshot reads go to a caught-up
+// replica, everything else to the leader.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/lb/status" {
+		rt.handleStatus(w, r)
+		return
+	}
+	if (r.Method == http.MethodGet || r.Method == http.MethodHead) && readPaths[r.URL.Path] {
+		rt.pick().proxy.ServeHTTP(w, r)
+		return
+	}
+	rt.leader.proxy.ServeHTTP(w, r)
+}
+
+// probeLeader reads the leader's current version off any read endpoint's
+// version header.
+func (rt *Router) probeLeader(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.leader.url+"/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("leader /stats: %s", resp.Status)
+	}
+	v, err := strconv.ParseUint(resp.Header.Get(serve.VersionHeader), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("leader /stats carries no %s header", serve.VersionHeader)
+	}
+	return v, nil
+}
+
+// probeReplica reads one replica's /repl/status.
+func (rt *Router) probeReplica(ctx context.Context, b *backend) (repl.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/repl/status", nil)
+	if err != nil {
+		return repl.Status{}, err
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		return repl.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return repl.Status{}, fmt.Errorf("/repl/status: %s", resp.Status)
+	}
+	var st repl.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return repl.Status{}, fmt.Errorf("/repl/status: %w", err)
+	}
+	return st, nil
+}
+
+// CheckNow runs one probe round synchronously: leader version first, then
+// every replica's status, then the admission decisions. Tests drive the
+// router deterministically through it; Run calls it on a ticker.
+func (rt *Router) CheckNow(ctx context.Context) {
+	if v, err := rt.probeLeader(ctx); err == nil {
+		rt.leaderVer.Store(v)
+	} else {
+		// Keep the last known leader version: replicas should not all eject
+		// because the leader blipped, and reads can still be served stale.
+		rt.logf("router: leader probe failed: %v", err)
+	}
+	leaderVer := rt.leaderVer.Load()
+
+	type verdict struct {
+		st  repl.Status
+		err error
+	}
+	verdicts := make([]verdict, len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, b := range rt.replicas {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			st, err := rt.probeReplica(ctx, b)
+			verdicts[i] = verdict{st, err}
+		}(i, b)
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, b := range rt.replicas {
+		st, err := verdicts[i].st, verdicts[i].err
+		was := b.admitted
+		switch {
+		case err != nil:
+			b.admitted = false
+			b.state = "unreachable"
+			b.lastErr = err.Error()
+		case st.State != "serving":
+			b.admitted = false
+			b.state = st.State
+			b.version = st.Version
+			b.lastErr = ""
+		default:
+			b.state = st.State
+			b.version = st.Version
+			b.lastErr = ""
+			b.lag = 0
+			if leaderVer > st.Version {
+				b.lag = leaderVer - st.Version
+			}
+			// The hysteresis band: an admitted replica tolerates lag up to
+			// MaxLag, an ejected one must catch up to ReadmitLag to return.
+			if b.admitted {
+				b.admitted = b.lag <= rt.opts.MaxLag
+			} else {
+				b.admitted = b.lag <= rt.opts.ReadmitLag
+			}
+		}
+		if b.admitted != was {
+			if b.admitted {
+				rt.logf("router: admitted %s (version %d, lag %d)", b.url, b.version, b.lag)
+			} else {
+				rt.logf("router: ejected %s (state %s, lag %d, err %q)", b.url, b.state, b.lag, b.lastErr)
+			}
+		}
+	}
+	rt.rebuildLocked()
+}
+
+// Run probes the fleet until ctx is cancelled, starting with an immediate
+// round so the rotation fills before the first tick. It returns ctx.Err().
+func (rt *Router) Run(ctx context.Context) error {
+	rt.CheckNow(ctx)
+	t := time.NewTicker(rt.opts.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			rt.CheckNow(ctx)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// BackendStatus is one upstream's entry in the /lb/status report.
+type BackendStatus struct {
+	URL      string `json:"url"`
+	Admitted bool   `json:"admitted"`
+	Version  uint64 `json:"version"`
+	Lag      uint64 `json:"lag"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+}
+
+// FleetStatus is the /lb/status response body.
+type FleetStatus struct {
+	LeaderURL     string          `json:"leader_url"`
+	LeaderVersion uint64          `json:"leader_version"`
+	Admitted      int             `json:"admitted"`
+	Replicas      []BackendStatus `json:"replicas"`
+}
+
+// Status reports the router's current view of the fleet.
+func (rt *Router) Status() FleetStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	fs := FleetStatus{
+		LeaderURL:     rt.leader.url,
+		LeaderVersion: rt.leaderVer.Load(),
+	}
+	for _, b := range rt.replicas {
+		if b.admitted {
+			fs.Admitted++
+		}
+		fs.Replicas = append(fs.Replicas, BackendStatus{
+			URL:      b.url,
+			Admitted: b.admitted,
+			Version:  b.version,
+			Lag:      b.lag,
+			State:    b.state,
+			Error:    b.lastErr,
+		})
+	}
+	return fs
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rt.Status()) //nolint:errcheck // the response is already committed
+}

@@ -1,0 +1,124 @@
+package serve
+
+// The read hot path's encoded-response cache. A snapshot is immutable, so
+// the /topk response for a given (measure, k) is a pure function of the
+// snapshot: encode it once, remember the bytes, and serve every repeat
+// request with a header write and one buffer copy instead of re-cloning the
+// ranking into []scoredJSON and re-marshaling it (48 allocs and ~11 KB per
+// request before this cache). Each entry carries a strong ETag derived from
+// (version, measure, k); a request presenting it back via If-None-Match is
+// answered 304 with no body at all — behind a read-router fanning repeat
+// queries across a fleet, the steady state serves near-zero bytes per hit.
+//
+// The cache lives on the snapshot, so invalidation is free: a publish swaps
+// the snapshot pointer and the old cache goes out with it. Entries are
+// capped per snapshot; past the cap, requests fall back to the per-request
+// encode (correct, just slower), so an adversarial spray of distinct k
+// values cannot grow memory without bound.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"domainnet/internal/domainnet"
+)
+
+// maxTopKEntries bounds the distinct (measure, k) responses cached per
+// snapshot. Real read traffic concentrates on a handful of k values; the
+// cap only exists so unbounded distinct keys degrade to the uncached path
+// instead of growing the heap.
+const maxTopKEntries = 128
+
+// topkKey identifies one cacheable /topk response within a snapshot.
+type topkKey struct {
+	m domainnet.Measure
+	k int
+}
+
+// topkEntry is one immutable cached response: the exact bytes handleTopK
+// would have encoded, plus the precomputed validator so the 304 path never
+// formats anything per request.
+type topkEntry struct {
+	body []byte
+	etag string
+}
+
+// topkCache is a monotonically filling map of topkKey → *topkEntry. Reads
+// are lock-free (sync.Map.Load allocates nothing); writes race benignly —
+// concurrent encoders of the same key produce identical bytes and
+// LoadOrStore keeps exactly one.
+type topkCache struct {
+	entries sync.Map
+	n       atomic.Int64
+}
+
+func (c *topkCache) load(key topkKey) *topkEntry {
+	if v, ok := c.entries.Load(key); ok {
+		return v.(*topkEntry)
+	}
+	return nil
+}
+
+// store inserts e unless the cache is at capacity, returning the entry that
+// ended up cached (an earlier racer's, possibly) or e itself when uncached.
+func (c *topkCache) store(key topkKey, e *topkEntry) *topkEntry {
+	if c.n.Load() >= maxTopKEntries {
+		return e
+	}
+	if prev, loaded := c.entries.LoadOrStore(key, e); loaded {
+		return prev.(*topkEntry)
+	}
+	c.n.Add(1)
+	return e
+}
+
+// topkETag derives the strong validator for one cached response. It is a
+// pure function of (snapshot version, measure, k): any byte of the response
+// can only change if one of those does, so equality of tags implies
+// equality of bodies — across replicas too, since replication keeps state
+// bit-identical at every version.
+func topkETag(version uint64, m domainnet.Measure, k int) string {
+	return fmt.Sprintf(`"v%d-%s-k%d"`, version, m, k)
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// entry's ETag. It walks the comma-separated list without allocating and
+// accepts the weak-comparison form (a W/ prefix) — weak comparison is what
+// If-None-Match specifies, and our tags are strong anyway.
+func etagMatch(header, etag string) bool {
+	for header != "" {
+		var tok string
+		tok, header, _ = strings.Cut(header, ",")
+		tok = strings.TrimSpace(tok)
+		tok = strings.TrimPrefix(tok, "W/")
+		if tok == "*" || tok == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// fastTopKQuery extracts the measure and k parameters from a raw query
+// string without allocating (substring cuts only). ok is false when the
+// query needs real URL decoding (escapes, plus signs, exotic separators) —
+// the caller falls back to url.Values then. The fast path is what keeps the
+// cached read at a handful of allocations per request.
+func fastTopKQuery(raw string) (measure, kstr string, ok bool) {
+	for raw != "" {
+		var pair string
+		pair, raw, _ = strings.Cut(raw, "&")
+		if strings.ContainsAny(pair, "%+;") {
+			return "", "", false
+		}
+		key, val, _ := strings.Cut(pair, "=")
+		switch key {
+		case "measure":
+			measure = val
+		case "k":
+			kstr = val
+		}
+	}
+	return measure, kstr, true
+}

@@ -21,9 +21,17 @@
 // publish supersedes, converting the post-mutation read-latency cliff into a
 // bounded background cost; GET /metrics exposes the warmer's counters and
 // per-endpoint latency accounting.
+//
+// The read hot path caches fully encoded /topk responses per (snapshot,
+// measure, k) with a strong ETag, answering If-None-Match revalidations
+// with 304 and no body (see respcache.go), and every read endpoint stamps
+// the snapshot version it served from in the X-Domainnet-Version header so
+// routers and clients can detect cross-replica staleness without parsing
+// bodies.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -49,6 +57,12 @@ import (
 // maxUpload bounds a single upload request (one CSV table, or a whole
 // multipart batch).
 const maxUpload = 64 << 20
+
+// VersionHeader stamps every read response with the snapshot version it was
+// served from, so routers and clients can detect cross-replica staleness
+// from headers alone — no body parse, and on a 304 no body at all. The
+// replication layer reuses the same header on its wire protocol.
+const VersionHeader = "X-Domainnet-Version"
 
 // Sentinel errors of the batch mutation path, so HTTP handlers can map
 // library errors to status codes without string matching.
@@ -197,9 +211,14 @@ type Mutation struct {
 // flight) transfers to the new snapshot instead of being recomputed.
 type snapshot struct {
 	version uint64
+	verStr  string // decimal version, precomputed for the per-request header
 	stats   lake.Stats
 	graph   *bipartite.Graph
 	dc      *detCache
+	// topk caches fully encoded /topk responses per (measure, k). The cache
+	// is per snapshot — even a carried publish (same graph, new version)
+	// gets a fresh one, because the response body embeds the version.
+	topk topkCache
 }
 
 // detCache lazily creates one detector per measure over one graph. The lock
@@ -430,6 +449,7 @@ func (s *Server) publishGraphDiff(g *bipartite.Graph, diff *bipartite.Diff) {
 	}
 	next := &snapshot{
 		version: s.lake.Version(),
+		verStr:  strconv.FormatUint(s.lake.Version(), 10),
 		stats:   stats,
 		graph:   g,
 	}
@@ -624,20 +644,60 @@ func toScoredJSON(in []rank.Scored) []scoredJSON {
 	return out
 }
 
+// handleTopK serves the ranking head. It is the read hot path, so it avoids
+// per-request work wherever the snapshot's immutability allows: the query is
+// parsed without allocating, the encoded response is cached per (measure, k)
+// on the snapshot, and a request presenting the entry's ETag back through
+// If-None-Match is answered 304 with no body. A router-fronted fleet serving
+// repeat queries does a few header writes per request and nothing else.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.measure(w, r)
-	if !ok {
-		return
+	mname, kstr, fast := fastTopKQuery(r.URL.RawQuery)
+	if !fast {
+		q := r.URL.Query()
+		mname, kstr = q.Get("measure"), q.Get("k")
+	}
+	m := s.cfg.Measure
+	if mname != "" {
+		var ok bool
+		if m, ok = domainnet.ParseMeasure(mname); !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown measure %q", mname))
+			return
+		}
 	}
 	k := 50
-	if kq := r.URL.Query().Get("k"); kq != "" {
+	if kstr != "" {
 		var err error
-		if k, err = strconv.Atoi(kq); err != nil || k < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", kq))
+		if k, err = strconv.Atoi(kstr); err != nil || k < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", kstr))
 			return
 		}
 	}
 	sn := s.snap.Load()
+	e := sn.topk.load(topkKey{m, k})
+	if e != nil {
+		// The entry exists only because a previous request computed the
+		// ranking, so a cache hit is by definition a warm read.
+		s.warmHits.Add(1)
+	} else {
+		e = s.encodeTopK(sn, m, k)
+	}
+	h := w.Header()
+	h.Set("ETag", e.etag)
+	h.Set(VersionHeader, sn.verStr)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, e.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.body) //nolint:errcheck // the response is already committed
+}
+
+// encodeTopK computes and encodes one /topk response and installs it in the
+// snapshot's cache. The bytes are identical to what writeJSON would have
+// produced, so cached and uncached responses are indistinguishable on the
+// wire (process-restart and replica-equality tests compare them directly).
+func (s *Server) encodeTopK(sn *snapshot, m domainnet.Measure, k int) *topkEntry {
 	d := sn.detector(m, s.cfg)
 	if d.Ready() {
 		s.warmHits.Add(1)
@@ -645,12 +705,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.coldMisses.Add(1)
 	}
 	top := d.TopK(k)
-	writeJSON(w, http.StatusOK, map[string]any{
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{ //nolint:errcheck // in-memory encode of plain data
 		"version": sn.version,
 		"measure": m.String(),
 		"k":       len(top),
 		"results": toScoredJSON(top),
 	})
+	return sn.topk.store(topkKey{m, k}, &topkEntry{body: buf.Bytes(), etag: topkETag(sn.version, m, k)})
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -665,6 +729,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	v := table.Normalize(raw)
 	sn := s.snap.Load()
+	w.Header().Set(VersionHeader, sn.verStr)
 	d := sn.detector(m, s.cfg)
 	if d.ScoresReady() { // a point lookup needs only the score cache
 		s.warmHits.Add(1)
@@ -683,6 +748,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
+	w.Header().Set(VersionHeader, sn.verStr)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": sn.version,
 		"lake": map[string]int{
@@ -703,6 +769,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScorers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(VersionHeader, s.snap.Load().verStr)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"default":  s.cfg.Measure.String(),
 		"measures": domainnet.MeasureNames(),
@@ -717,6 +784,7 @@ func (s *Server) handleScorers(w http.ResponseWriter, r *http.Request) {
 // under churn is the warmer shedding superseded work, and endpoints.topk
 // max_ns collapsing after enabling WarmMeasures is the point of it.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(VersionHeader, s.snap.Load().verStr)
 	endpoints := make(map[string]any, len(s.stats))
 	for name, st := range s.stats {
 		count := st.count.Load()
