@@ -1,0 +1,77 @@
+// Command domainnetvet runs the project's stdlib-only static-analysis suite
+// (internal/lint) over the given package patterns and reports every invariant
+// violation with its source position.
+//
+// Usage:
+//
+//	domainnetvet [-json] [-run analyzer[,analyzer]] [packages]
+//
+// With no patterns it checks ./... . Exit status: 0 clean, 1 diagnostics
+// reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"domainnet/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("domainnetvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: domainnetvet [-json] [-run analyzer[,analyzer]] [packages]")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr, "\nanalyzers:")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name(), a.Doc())
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *runFilter != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*runFilter, ",")...)
+		if err != nil {
+			fmt.Fprintln(stderr, "domainnetvet:", err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "domainnetvet:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "domainnetvet:", err)
+			return 2
+		}
+	} else if err := lint.WriteText(stdout, diags); err != nil {
+		fmt.Fprintln(stderr, "domainnetvet:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -101,6 +101,12 @@ func lccBySignature(g Bipartite, attrJaccard bool, opts engine.Opts) []float64 {
 	// Attribute -> signatures containing it, to enumerate interacting pairs.
 	sigsAt := make(map[int32][]int, g.NumNodes()-nVal)
 	for i, s := range sigs {
+		// Polled like the shard passes around it: on a wide lake this index
+		// touches every edge, and a superseded warm must be able to bail
+		// between the two ParallelCtx sweeps.
+		if opts.Cancelled() {
+			return out
+		}
 		for _, a := range s.attrs {
 			sigsAt[a] = append(sigsAt[a], i)
 		}

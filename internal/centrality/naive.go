@@ -13,6 +13,9 @@ func NaiveBetweenness(g Graph, opts engine.Opts) []float64 {
 	dist := make([][]int32, n)
 	sigma := make([][]float64, n)
 	for s := 0; s < n; s++ {
+		if opts.Cancelled() {
+			return make([]float64, n)
+		}
 		dist[s], sigma[s] = bfsCounts(g, int32(s))
 	}
 
@@ -25,6 +28,12 @@ func NaiveBetweenness(g Graph, opts engine.Opts) []float64 {
 
 	bc := make([]float64, n)
 	for s := 0; s < n; s++ {
+		// The oracle is cancellable like every production scorer: a
+		// superseded warm must not burn an O(n·m) definitional recompute.
+		// A cancelled run's partial scores are never installed by callers.
+		if opts.Cancelled() {
+			return bc
+		}
 		if !endpointOK(s) {
 			continue
 		}

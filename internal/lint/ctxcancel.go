@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxCancel enforces PR 5's warm-cancellation invariant: any function that
+// takes an engine.Opts and runs a nested traversal loop (the shape of
+// per-source BFS, per-shard scans, per-pair sampling) must poll
+// opts.Cancelled() — or delegate to the cancellable engine.ParallelCtx /
+// engine.ShardSumCtx harnesses — inside the loop, so a superseded background
+// warm can actually abandon the compute instead of burning a full scoring
+// run after its publish already lost.
+//
+// The walk is top-down: a loop that polls anywhere within it (including
+// inside function literals it spawns) covers everything nested under it, so
+// inner per-node BFS loops under a polled per-source loop are fine. Flat
+// loops with no nested loop are exempt — they are O(n) bookkeeping, not
+// traversals. One diagnostic is reported per outermost unpolled traversal.
+type CtxCancel struct{}
+
+func (CtxCancel) Name() string { return "ctxcancel" }
+
+func (CtxCancel) Doc() string {
+	return "functions taking engine.Opts must poll opts.Cancelled() (or delegate to engine.ParallelCtx/ShardSumCtx) inside nested traversal loops"
+}
+
+func (CtxCancel) Run(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasOptsParam(p, fd) {
+				continue
+			}
+			checkTraversalLoops(p, fd.Body)
+		}
+	}
+}
+
+// hasOptsParam reports whether fd receives an engine.Opts (by value or
+// pointer) through its receiver or parameter list.
+func hasOptsParam(p *Pass, fd *ast.FuncDecl) bool {
+	fieldListHasOpts := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			if tv, ok := p.Info.Types[f.Type]; ok && isNamed(tv.Type, "internal/engine", "Opts") {
+				return true
+			}
+		}
+		return false
+	}
+	return fieldListHasOpts(fd.Recv) || fieldListHasOpts(fd.Type.Params)
+}
+
+func checkTraversalLoops(p *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop := loopBody(n)
+		if loop == nil {
+			return true
+		}
+		if pollsCancellation(p, loop) {
+			// Covered at this granularity; everything nested under a
+			// polled loop is abandoned with it.
+			return false
+		}
+		if containsLoop(loop) {
+			p.Reportf(n.Pos(), "nested traversal loop in a function taking engine.Opts never polls opts.Cancelled() and never delegates to engine.ParallelCtx/ShardSumCtx; an in-flight cancellation cannot abandon it")
+			return false // one report per outermost unpolled traversal
+		}
+		return true
+	})
+}
+
+// loopBody returns the body of a for or range statement, or nil.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch loop := n.(type) {
+	case *ast.ForStmt:
+		return loop.Body
+	case *ast.RangeStmt:
+		return loop.Body
+	}
+	return nil
+}
+
+// pollsCancellation reports whether n contains a call that observes
+// cancellation: engine.Opts.Cancelled, the cancellable engine harnesses, or
+// a context.Context's Err/Done.
+func pollsCancellation(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		switch {
+		case pathHasTail(f.Pkg().Path(), "internal/engine") &&
+			(f.Name() == "Cancelled" || f.Name() == "ParallelCtx" || f.Name() == "ShardSumCtx"):
+			found = true
+		case f.Pkg().Path() == "context" && (f.Name() == "Err" || f.Name() == "Done"):
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsLoop reports whether n contains a for or range statement.
+func containsLoop(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if loopBody(node) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

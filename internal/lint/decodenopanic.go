@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// DecodeNoPanic hardens the decode paths that face bytes from disk or the
+// wire: internal/persist and internal/wal must degrade corrupt input into
+// errors, never panics. Fuzzing (FuzzLoad, FuzzDecodeRecord) enforces this
+// empirically where the corpus reaches; this analyzer enforces it
+// structurally everywhere in those packages:
+//
+//   - no panic(...) calls at all — a decoder has no panic-worthy states, and
+//     a panic in the WAL replay path turns a torn tail into a crashed boot;
+//   - no slice index/bound or make size that flows from a Uvarint-decoded
+//     length without an intervening bounds check (an if/for condition or
+//     switch mentioning the value before use). Length prefixes are
+//     attacker-controlled; persist.Reader.Length is the sanctioned checked
+//     accessor and its results are trusted.
+type DecodeNoPanic struct{}
+
+func (DecodeNoPanic) Name() string { return "decodenopanic" }
+
+func (DecodeNoPanic) Doc() string {
+	return "persist/wal decode paths must never panic and must bounds-check Uvarint-derived lengths before indexing with them"
+}
+
+func (DecodeNoPanic) Run(p *Pass) {
+	base := path.Base(p.Pkg.Path())
+	if base != "persist" && base != "wal" {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkDecodeFunc(p, fd)
+			}
+		}
+	}
+}
+
+func checkDecodeFunc(p *Pass, fd *ast.FuncDecl) {
+	tainted := make(map[types.Object]bool)      // Uvarint-derived, not yet proven checked
+	guarded := make(map[types.Object]token.Pos) // earliest condition mentioning the object
+
+	// Pass 1: panics, taint sources, and guards.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin || p.Info.Uses[id] == nil {
+					p.Reportf(n.Pos(), "panic in a decode path; corrupt input must yield an error, never a panic")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && isUvarintCall(p, unwrapConversion(p, n.Rhs[0])) && len(n.Lhs) > 0 {
+				// binary.Uvarint's first result is the decoded value; the
+				// single-result Reader-style Uvarint methods likewise bind
+				// the value first.
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if obj := lhsObject(p, id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			recordGuards(p, n.Cond, n.Pos(), guarded)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				recordGuards(p, n.Cond, n.Pos(), guarded)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				recordGuards(p, n.Tag, n.Pos(), guarded)
+			}
+		}
+		return true
+	})
+
+	// Pass 2: every index, slice bound, and make size derived from a
+	// tainted value must be preceded by a guard.
+	flagBound := func(bound ast.Expr) {
+		if bound == nil {
+			return
+		}
+		if isUvarintCall(p, unwrapConversion(p, bound)) {
+			p.Reportf(bound.Pos(), "slice bound taken directly from an unchecked Uvarint length; validate it (or use Reader.Length) first")
+			return
+		}
+		ast.Inspect(bound, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || !tainted[obj] {
+				return true
+			}
+			if pos, ok := guarded[obj]; ok && pos < id.Pos() {
+				return true
+			}
+			p.Reportf(id.Pos(), "%s flows from Uvarint into a slice bound with no preceding bounds check; corrupt length prefixes must error out, not panic or over-allocate", id.Name)
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if isIndexableValue(p, n.X) {
+				flagBound(n.Index)
+			}
+		case *ast.SliceExpr:
+			flagBound(n.Low)
+			flagBound(n.High)
+			flagBound(n.Max)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 1 {
+					for _, arg := range n.Args[1:] {
+						flagBound(arg)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isUvarintCall matches binary.Uvarint(...) and any method named Uvarint
+// (the Reader-style cursor decoders).
+func isUvarintCall(p *Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(p.Info, call)
+	return f != nil && f.Name() == "Uvarint"
+}
+
+// unwrapConversion strips type-conversion layers like int(...) so the
+// underlying call is visible.
+func unwrapConversion(p *Pass, expr ast.Expr) ast.Expr {
+	for {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return ast.Unparen(expr)
+		}
+		if tv, ok := p.Info.Types[call.Fun]; !ok || !tv.IsType() {
+			return ast.Unparen(expr)
+		}
+		expr = call.Args[0]
+	}
+}
+
+// lhsObject resolves the object an assignment binds, for both := and =.
+func lhsObject(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// recordGuards marks every identifier mentioned in a condition as checked
+// from pos onward.
+func recordGuards(p *Pass, cond ast.Expr, pos token.Pos, guarded map[types.Object]token.Pos) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				if prev, ok := guarded[obj]; !ok || pos < prev {
+					guarded[obj] = pos
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isIndexableValue reports whether expr is a value of slice, array, or
+// string type — index expressions over maps are lookups, not panics, and
+// generic type instantiations are not indexing at all.
+func isIndexableValue(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArray := t.Elem().Underlying().(*types.Array)
+		return isArray
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list` (run in dir), parses the matched
+// packages' non-test sources with comments, and type-checks them against the
+// export data the go toolchain wrote into the build cache (`-export`), so
+// dependencies — including the standard library — resolve without compiling
+// anything ourselves and without any module outside the toolchain.
+//
+// Note the go tool prunes `testdata` directories from wildcard patterns such
+// as ./..., so analyzer fixtures must be named with explicit directory
+// patterns; conversely a repo-wide ./... run can never trip over fixtures.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, bytes.TrimSpace(stderr.Bytes()))
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && !lp.DepOnly && len(lp.GoFiles) > 0 {
+			targets = append(targets, lp)
+		}
+	}
+
+	// One shared FileSet and one shared importer: the gc importer caches
+	// every package it materializes from export data, so the stdlib is
+	// decoded once across all targets.
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHold enforces the serving write-lock discipline: writeMu serializes
+// mutations and snapshot publishes, so nothing slow or re-entrant may run
+// while it is held. Three call classes are banned inside a writeMu critical
+// section: anything in net/http (a network wait under the write lock stalls
+// every writer and the checkpointer), (*os.File).Sync (fsync belongs in the
+// WAL/persist layer outside the lock — the atomic-rename save protocol
+// syncs after the data is marshaled), and serve.Checkpoint (it re-acquires
+// writeMu; calling it under the lock is a self-deadlock).
+//
+// Tracking is lexical per statement list: a writeMu.Lock() opens the held
+// region, a top-level writeMu.Unlock() closes it, and a deferred Unlock
+// keeps it open to the end of the enclosing block — the shapes the serving
+// code actually uses. While held, the whole statement subtree (including
+// function literals) is scanned for banned calls.
+type LockHold struct{}
+
+func (LockHold) Name() string { return "lockhold" }
+
+func (LockHold) Doc() string {
+	return "no call into net/http, (*os.File).Sync, or serve.Checkpoint while writeMu is held"
+}
+
+func (LockHold) Run(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanHeld(p, fd.Body.List, false)
+			}
+		}
+		// Function literals get their own lock-state scan: a closure that
+		// takes writeMu itself is a critical section wherever it runs.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				scanHeld(p, lit.Body.List, false)
+			}
+			return true
+		})
+	}
+}
+
+// scanHeld walks one statement list tracking whether writeMu is held.
+// Nested blocks inherit the current state; their internal transitions stay
+// local (a lock taken inside a branch does not leak out — conservative, and
+// exact for the lock/defer-unlock shape the codebase uses).
+func scanHeld(p *Pass, stmts []ast.Stmt, held bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if isWriteMuCall(p, call, "Lock") {
+					held = true
+					continue
+				}
+				if isWriteMuCall(p, call, "Unlock") {
+					held = false
+					continue
+				}
+			}
+			if held {
+				reportBannedCalls(p, stmt)
+			}
+		case *ast.DeferStmt:
+			if isWriteMuCall(p, s.Call, "Unlock") {
+				continue // releases at function end; the rest of the block runs held
+			}
+			if held {
+				reportBannedCalls(p, stmt)
+			}
+		case *ast.BlockStmt:
+			scanHeld(p, s.List, held)
+		case *ast.IfStmt:
+			if held {
+				reportBannedCalls(p, s.Cond)
+			}
+			scanHeld(p, s.Body.List, held)
+			if s.Else != nil {
+				scanHeld(p, []ast.Stmt{s.Else}, held)
+			}
+		case *ast.ForStmt:
+			if held && s.Cond != nil {
+				reportBannedCalls(p, s.Cond)
+			}
+			scanHeld(p, s.Body.List, held)
+		case *ast.RangeStmt:
+			if held {
+				reportBannedCalls(p, s.X)
+			}
+			scanHeld(p, s.Body.List, held)
+		default:
+			if held {
+				reportBannedCalls(p, stmt)
+			}
+		}
+	}
+}
+
+// isWriteMuCall matches x.writeMu.<method>() where writeMu is a sync.Mutex.
+func isWriteMuCall(p *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	var name string
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.Ident:
+		name = x.Name
+	default:
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	return ok && name == "writeMu" && isNamed(tv.Type, "sync", "Mutex")
+}
+
+// reportBannedCalls flags every banned call in n's subtree.
+func reportBannedCalls(p *Pass, n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		switch {
+		case f.Pkg().Path() == "net/http":
+			p.Reportf(call.Pos(), "%s called while writeMu is held; the write lock must never wait on the network", f.FullName())
+		case f.Name() == "Sync" && recvIs(f, "os", "File"):
+			p.Reportf(call.Pos(), "(*os.File).Sync while writeMu is held; fsync belongs outside the write lock")
+		case f.Name() == "Checkpoint" && recvIs(f, "internal/serve", "Server"):
+			p.Reportf(call.Pos(), "serve.Checkpoint re-acquires writeMu; calling it while the lock is held deadlocks")
+		}
+		return true
+	})
+}
+
+// recvIs reports whether f is a method on (a pointer to) pkgTail.name.
+func recvIs(f *types.Func, pkgTail, name string) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), pkgTail, name)
+}

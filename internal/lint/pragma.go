@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// pragmaPrefix introduces a suppression comment:
+//
+//	//domainnetvet:ignore <analyzer> <reason>
+//
+// It silences <analyzer> on the pragma's own line and on the line directly
+// below it — wide enough for both end-of-line and line-above placement,
+// narrow enough that a pragma can never blanket a whole file.
+const pragmaPrefix = "//domainnetvet:ignore"
+
+// pragmaName is the pseudo-analyzer malformed-pragma diagnostics are
+// attributed to; it is a reserved name validated like any other.
+const pragmaName = "pragma"
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterPragmas drops diagnostics covered by well-formed suppression pragmas
+// in pkg's files and appends a diagnostic for every malformed pragma (missing
+// analyzer, unknown analyzer, or missing reason). known is the full shipped
+// analyzer name set — pragmas are validated against it even when a -run
+// filter narrowed this invocation, so a typo never silently suppresses
+// nothing.
+func filterPragmas(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	suppressed := make(map[suppressKey]bool)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, pragmaPrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other token, e.g. //domainnetvet:ignoreme
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				bad := func(format string, args ...any) {
+					out = append(out, Diagnostic{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: pragmaName,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				switch {
+				case len(fields) == 0:
+					bad("malformed pragma: want %q", pragmaPrefix+" <analyzer> <reason>")
+				case !known[fields[0]]:
+					bad("pragma names unknown analyzer %q", fields[0])
+				case len(fields) < 2:
+					bad("pragma for %q has no reason; suppressions must say why", fields[0])
+				default:
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						suppressed[suppressKey{pos.Filename, line, fields[0]}] = true
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if suppressed[suppressKey{d.File, d.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"domainnet/internal/lint"
+)
+
+// TestRepoCleanUnderDomainnetvet is the enforcement test: the whole module
+// must pass every analyzer. A failure here means a new invariant violation
+// landed (fix it) or an analyzer regressed (fix that) — never loosen the
+// assertion. Deliberate exceptions go through the //domainnetvet:ignore
+// pragma with a written reason, next to the code they excuse.
+func TestRepoCleanUnderDomainnetvet(t *testing.T) {
+	diags, err := lint.Run(moduleRoot(t), []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("domainnetvet ./...: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,50 @@
+// Package atomicsnap seeds violations (and non-violations) of the
+// atomic.Pointer access discipline for the atomicsnap analyzer.
+package atomicsnap
+
+import "sync/atomic"
+
+type snapshot struct {
+	version uint64
+}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+}
+
+var current atomic.Pointer[snapshot]
+
+// goodMethods exercises the full sanctioned method set.
+func goodMethods(s *server) *snapshot {
+	s.snap.Store(&snapshot{version: 1})
+	old := s.snap.Swap(&snapshot{version: 2})
+	s.snap.CompareAndSwap(old, &snapshot{version: 3})
+	return s.snap.Load()
+}
+
+// goodGlobal reads the package-level pointer the same way.
+func goodGlobal() *snapshot {
+	return current.Load()
+}
+
+// badCopy copies the pointer; the copy observes no further Stores.
+func badCopy(s *server) uint64 {
+	p := s.snap // want "access it only through Load/Store/Swap/CompareAndSwap"
+	return p.Load().version
+}
+
+// badReset assigns over the field, racing every concurrent Load.
+func badReset(s *server) {
+	s.snap = atomic.Pointer[snapshot]{} // want "access it only through Load/Store/Swap/CompareAndSwap"
+}
+
+// badAddr leaks the pointer's address to arbitrary code.
+func badAddr(s *server) *atomic.Pointer[snapshot] {
+	return &s.snap // want "access it only through Load/Store/Swap/CompareAndSwap"
+}
+
+// badGlobalCopy copies the package-level pointer by value.
+func badGlobalCopy() uint64 {
+	c := current // want "access it only through Load/Store/Swap/CompareAndSwap"
+	return c.Load().version
+}

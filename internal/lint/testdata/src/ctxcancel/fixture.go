@@ -1,0 +1,93 @@
+// Package ctxcancel seeds violations (and non-violations) of the
+// warm-cancellation invariant for the ctxcancel analyzer's golden test.
+package ctxcancel
+
+import (
+	"domainnet/internal/engine"
+)
+
+// BadTraversal runs a nested pairwise loop without ever observing
+// cancellation — the exact shape the analyzer exists to catch.
+func BadTraversal(n int, opts engine.Opts) []float64 {
+	out := make([]float64, n)
+	for s := 0; s < n; s++ { // want "never polls opts.Cancelled"
+		for t := 0; t < n; t++ {
+			out[t] += float64(s + t)
+		}
+	}
+	return out
+}
+
+// BadRangeTraversal is the range-statement flavour of the same violation.
+func BadRangeTraversal(rows [][]float64, opts engine.Opts) float64 {
+	total := 0.0
+	for _, row := range rows { // want "never polls opts.Cancelled"
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// GoodPolled polls opts.Cancelled() inside the outer loop; the inner BFS
+// loop is covered by the poll above it.
+func GoodPolled(n int, opts engine.Opts) []float64 {
+	out := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if opts.Cancelled() {
+			return out
+		}
+		for t := 0; t < n; t++ {
+			out[t] += float64(s + t)
+		}
+	}
+	return out
+}
+
+// GoodDelegated hands the traversal to the cancellable engine harness.
+func GoodDelegated(n int, opts engine.Opts) int {
+	done := 0
+	for round := 0; round < 3; round++ {
+		done += engine.ParallelCtx(opts.Context(), opts.EffectiveWorkers(n), n, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				_ = i
+			}
+		})
+	}
+	return done
+}
+
+// GoodCtxErr observes cancellation through the context directly.
+func GoodCtxErr(n int, opts engine.Opts) int {
+	total := 0
+	for s := 0; s < n; s++ {
+		if opts.Context().Err() != nil {
+			return total
+		}
+		for t := 0; t < n; t++ {
+			total += t
+		}
+	}
+	return total
+}
+
+// GoodFlat is O(n) bookkeeping, not a traversal: flat loops are exempt.
+func GoodFlat(n int, opts engine.Opts) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// NoOpts loops all it wants: without an engine.Opts there is no
+// cancellation token to poll.
+func NoOpts(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			total += i * j
+		}
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+// Package persist seeds violations (and non-violations) of the decode-path
+// hardening rules for the decodenopanic analyzer. The package name matters:
+// the analyzer scopes itself to packages named persist or wal.
+package persist
+
+import "encoding/binary"
+
+type reader struct {
+	buf []byte
+}
+
+// Uvarint is the cursor-style decoder the taint rule tracks.
+func (r *reader) Uvarint() uint64 {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.buf = nil
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Length is the sanctioned checked accessor: the raw varint is validated
+// against the remaining input before anything allocates or indexes with it.
+func (r *reader) Length(max int) int {
+	v := r.Uvarint()
+	if v > uint64(max) || v > uint64(len(r.buf)) {
+		return 0
+	}
+	return int(v)
+}
+
+// decodePanics turns corrupt input into a crash.
+func decodePanics(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty frame") // want "panic in a decode path"
+	}
+	return b[0]
+}
+
+// decodeUnchecked slices with a length prefix nothing validated.
+func decodeUnchecked(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return b[:n] // want "flows from Uvarint into a slice bound"
+}
+
+// decodeInlineBound indexes with a raw varint read inline.
+func decodeInlineBound(r *reader) byte {
+	return r.buf[r.Uvarint()] // want "slice bound taken directly from an unchecked Uvarint"
+}
+
+// decodeOverAllocate sizes an allocation from an unvalidated prefix: a
+// corrupt frame makes the decoder balloon before any bytes are read.
+func decodeOverAllocate(b []byte) []string {
+	n, _ := binary.Uvarint(b)
+	return make([]string, 0, n) // want "flows from Uvarint into a slice bound"
+}
+
+// decodeChecked validates the prefix against the remaining input first.
+func decodeChecked(b []byte) ([]byte, bool) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 || int(n) > len(b)-used {
+		return nil, false
+	}
+	return b[used : used+int(n)], true
+}
+
+// decodeWithLength goes through the checked accessor; its result is
+// trusted.
+func decodeWithLength(r *reader) []byte {
+	n := r.Length(1 << 20)
+	return r.buf[:n]
+}

@@ -1,0 +1,81 @@
+// Package lockhold seeds violations (and non-violations) of the writeMu
+// critical-section discipline for the lockhold analyzer.
+package lockhold
+
+import (
+	"net/http"
+	"os"
+	"sync"
+
+	"domainnet/internal/serve"
+)
+
+type store struct {
+	writeMu sync.Mutex
+	file    *os.File
+	srv     *serve.Server
+	n       int
+}
+
+// badHTTPUnderLock waits on the network while holding the write lock.
+func (s *store) badHTTPUnderLock(url string) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	http.Get(url) // want "net/http.Get called while writeMu is held"
+}
+
+// badHTTPInBranch hides the network call behind a condition; still held.
+func (s *store) badHTTPInBranch(url string, cond bool) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if cond {
+		http.Post(url, "text/plain", nil) // want "net/http.Post called while writeMu is held"
+	}
+}
+
+// badSyncUnderLock fsyncs inside the critical section.
+func (s *store) badSyncUnderLock() {
+	s.writeMu.Lock()
+	s.file.Sync() // want "Sync while writeMu is held"
+	s.writeMu.Unlock()
+}
+
+// badCheckpointUnderLock re-enters the lock through serve.Checkpoint.
+func (s *store) badCheckpointUnderLock() {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.srv.Checkpoint(nil) // want "Checkpoint re-acquires writeMu"
+}
+
+// goodSyncOutsideLock releases before the fsync — the sanctioned shape.
+func (s *store) goodSyncOutsideLock() {
+	s.writeMu.Lock()
+	s.n++
+	s.writeMu.Unlock()
+	s.file.Sync()
+}
+
+// goodDeferredUnlockNoBanned holds the lock for pure in-memory work.
+func (s *store) goodDeferredUnlockNoBanned() int {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.n++
+	return s.n
+}
+
+// goodOtherMutex holds some other lock; the discipline is writeMu's alone.
+func (s *store) goodOtherMutex(mu *sync.Mutex, url string) {
+	mu.Lock()
+	defer mu.Unlock()
+	http.Get(url)
+}
+
+// badClosureUnderLock takes the lock inside a function literal — closures
+// get their own lock-state scan wherever they are declared.
+func (s *store) badClosureUnderLock(url string) func() {
+	return func() {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		http.Get(url) // want "net/http.Get called while writeMu is held"
+	}
+}

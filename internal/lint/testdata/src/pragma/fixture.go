@@ -1,0 +1,32 @@
+// Package pragma exercises the suppression pragma: a well-formed pragma
+// silences its analyzer on the next line, and a pragma naming the wrong
+// analyzer suppresses nothing.
+package pragma
+
+import "domainnet/internal/engine"
+
+// suppressedTraversal carries a deliberate ctxcancel violation silenced by
+// the pragma on the line above the loop.
+func suppressedTraversal(n int, opts engine.Opts) int {
+	total := 0
+	//domainnetvet:ignore ctxcancel fixture: bounded toy loop, suppression is the thing under test
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			total += i * j
+		}
+	}
+	return total
+}
+
+// survivingTraversal has a pragma naming a different analyzer, so the
+// ctxcancel diagnostic must survive.
+func survivingTraversal(n int, opts engine.Opts) int {
+	total := 0
+	//domainnetvet:ignore atomicsnap wrong analyzer on purpose; ctxcancel stays live
+	for i := 0; i < n; i++ { // want "never polls opts.Cancelled"
+		for j := 0; j < n; j++ {
+			total += i * j
+		}
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Package pragmabad holds only malformed suppression pragmas; the pragma
+// unit test asserts each one surfaces as a diagnostic instead of silently
+// suppressing nothing.
+package pragmabad
+
+func placeholder() int {
+	x := 0
+	//domainnetvet:ignore
+	x++
+	//domainnetvet:ignore nosuchanalyzer because reasons
+	x++
+	//domainnetvet:ignore ctxcancel
+	x++
+	return x
+}

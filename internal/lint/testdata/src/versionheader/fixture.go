@@ -1,0 +1,59 @@
+// Package versionheader seeds violations (and non-violations) of the
+// X-Domainnet-Version read contract for the versionheader analyzer.
+package versionheader
+
+import "net/http"
+
+func routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /good", handleGood)
+	mux.HandleFunc("GET /early", handleEarlyBody)
+	mux.HandleFunc("GET /never", handleNeverStamps)
+	mux.HandleFunc("GET /errfirst", handleErrorFirst)
+	mux.Handle("GET /wrapped", wrap("wrapped", handleWrappedNever))
+	mux.HandleFunc("POST /ingest", handleMutation)
+	return mux
+}
+
+// wrap mimics the serving middleware shape: the analyzer must find the
+// handler inside the wrapper call's arguments.
+func wrap(name string, h http.HandlerFunc) http.Handler {
+	_ = name
+	return h
+}
+
+// handleGood stamps the version header before the body — the contract.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Domainnet-Version", "1")
+	w.Write([]byte("ok"))
+}
+
+// handleEarlyBody writes bytes first; the later Set is silently dropped.
+func handleEarlyBody(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok")) // want "body written before the X-Domainnet-Version header"
+	w.Header().Set("X-Domainnet-Version", "1")
+}
+
+func handleNeverStamps(w http.ResponseWriter, r *http.Request) { // want "never sets the X-Domainnet-Version header"
+	w.Write([]byte("ok"))
+}
+
+// handleErrorFirst answers an error before stamping: error responses are
+// not cached or routed by version, so they are exempt.
+func handleErrorFirst(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("k") == "" {
+		http.Error(w, "missing k", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("X-Domainnet-Version", "1")
+	w.WriteHeader(http.StatusOK)
+}
+
+func handleWrappedNever(w http.ResponseWriter, r *http.Request) { // want "never sets the X-Domainnet-Version header"
+	w.Write([]byte("ok"))
+}
+
+// handleMutation is registered for POST: the read contract does not apply.
+func handleMutation(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("accepted"))
+}

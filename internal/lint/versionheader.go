@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// versionHeaderName is the wire value of serve.VersionHeader. The analyzer
+// matches the constant's value rather than the identifier so handlers that
+// spell the literal directly still satisfy the contract, and a drive-by
+// rename of the constant cannot silently retarget the check.
+const versionHeaderName = "X-Domainnet-Version"
+
+// VersionHeader enforces PR 7's read contract: every handler registered for
+// a "GET ..." mux pattern must stamp X-Domainnet-Version before the first
+// success-path body write. The router and the follower's cache key on that
+// header; a read that answers without it (or after bytes are already on the
+// wire) silently breaks fleet version tracking.
+//
+// Handlers are resolved from Handle/HandleFunc registrations by unwrapping
+// any call layers around the second argument (s.instrument("topk",
+// s.handleTopK), http.HandlerFunc(ld.handleChanges)) down to functions with
+// the (http.ResponseWriter, *http.Request) signature declared in the same
+// package. Within a handler, writes are classified by position: a call
+// carrying an int constant >= 400 alongside the ResponseWriter is an
+// error-path write (exempt — error responses are not cached), and a call
+// into a same-package helper that takes the writer is classified by the
+// writes its own body performs (so validation helpers that only ever write
+// errors do not count as body writes). Anything else that touches the
+// writer is a success write and must come after the header Set.
+type VersionHeader struct{}
+
+func (VersionHeader) Name() string { return "versionheader" }
+
+func (VersionHeader) Doc() string {
+	return "GET handlers must set the " + versionHeaderName + " header before the first success-path body write"
+}
+
+func (VersionHeader) Run(p *Pass) {
+	c := &vhChecker{
+		pass:  p,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*ast.FuncDecl]writeClass),
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	checked := make(map[*ast.FuncDecl]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") || len(call.Args) < 2 {
+				return true
+			}
+			pattern, ok := stringConstant(p.Info, call.Args[0])
+			if !ok || !strings.HasPrefix(pattern, "GET ") {
+				return true
+			}
+			for _, fn := range c.handlerFuncs(call.Args[1]) {
+				fd := c.decls[fn]
+				if fd == nil || checked[fd] || !isHandlerSig(fn) {
+					continue
+				}
+				checked[fd] = true
+				c.checkHandler(fd, pattern)
+			}
+			return true
+		})
+	}
+}
+
+// writeClass classifies what a call does to the response.
+type writeClass int
+
+const (
+	writeNone    writeClass = iota // does not touch the response body
+	writeError                     // error-path response (status >= 400)
+	writeSuccess                   // success-path body write
+)
+
+type vhChecker struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*ast.FuncDecl]writeClass
+}
+
+// handlerFuncs collects every package-level function referenced by expr,
+// unwrapping call layers (middleware wrappers, http.HandlerFunc conversions)
+// so the handler inside s.instrument("topk", s.handleTopK) is found.
+func (c *vhChecker) handlerFuncs(expr ast.Expr) []*types.Func {
+	var out []*types.Func
+	var collect func(e ast.Expr)
+	collect = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if f, ok := c.pass.Info.Uses[e].(*types.Func); ok {
+				out = append(out, f)
+			}
+		case *ast.SelectorExpr:
+			if f, ok := c.pass.Info.Uses[e.Sel].(*types.Func); ok {
+				out = append(out, f)
+			}
+		case *ast.CallExpr:
+			collect(e.Fun)
+			for _, arg := range e.Args {
+				collect(arg)
+			}
+		}
+	}
+	collect(expr)
+	return out
+}
+
+// isHandlerSig reports whether f has the http handler shape
+// func(http.ResponseWriter, *http.Request).
+func isHandlerSig(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	return isNamed(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		isNamed(sig.Params().At(1).Type(), "net/http", "Request")
+}
+
+func (c *vhChecker) checkHandler(fd *ast.FuncDecl, pattern string) {
+	p := c.pass
+	firstSet := token.NoPos
+	firstWrite := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isVersionHeaderSet(p, call) {
+			if firstSet == token.NoPos || call.Pos() < firstSet {
+				firstSet = call.Pos()
+			}
+			return true
+		}
+		if c.classify(call) == writeSuccess {
+			if firstWrite == token.NoPos || call.Pos() < firstWrite {
+				firstWrite = call.Pos()
+			}
+		}
+		return true
+	})
+	switch {
+	case firstSet == token.NoPos:
+		p.Reportf(fd.Name.Pos(), "read handler %s (registered for %q) never sets the %s header the router and response cache key on", fd.Name.Name, pattern, versionHeaderName)
+	case firstWrite != token.NoPos && firstWrite < firstSet:
+		p.Reportf(firstWrite, "response body written before the %s header is set in %s; headers after the first write are silently dropped", versionHeaderName, fd.Name.Name)
+	}
+}
+
+// isVersionHeaderSet matches h.Set("X-Domainnet-Version", ...) where Set is
+// net/http's Header.Set and the key constant-folds to the version header.
+func isVersionHeaderSet(p *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(p.Info, call)
+	if f == nil || f.Name() != "Set" || f.Pkg() == nil || f.Pkg().Path() != "net/http" || len(call.Args) != 2 {
+		return false
+	}
+	key, ok := stringConstant(p.Info, call.Args[0])
+	return ok && key == versionHeaderName
+}
+
+// classify determines whether call writes a success response, an error
+// response, or nothing. Direct w.Write is always a success write;
+// WriteHeader and helpers taking the writer (writeJSON, http.Error,
+// io.Copy, ...) are error-path only when an int constant >= 400 rides
+// along; a same-package helper with no status constant at the call site is
+// classified by the writes in its own body.
+func (c *vhChecker) classify(call *ast.CallExpr) writeClass {
+	p := c.pass
+	f := calleeFunc(p.Info, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "net/http" {
+		switch f.Name() {
+		case "Write":
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				isNamed(sig.Recv().Type(), "net/http", "ResponseWriter") {
+				return writeSuccess
+			}
+		case "WriteHeader":
+			if len(call.Args) == 1 {
+				if code, ok := intConstant(p.Info, call.Args[0]); ok && code >= 400 {
+					return writeError
+				}
+				return writeSuccess
+			}
+		}
+	}
+	takesWriter := false
+	hasErrorStatus := false
+	hasSuccessStatus := false
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isNamed(tv.Type, "net/http", "ResponseWriter") {
+			takesWriter = true
+		}
+		if code, ok := intConstant(p.Info, arg); ok {
+			if code >= 400 {
+				hasErrorStatus = true
+			} else if code >= 100 {
+				hasSuccessStatus = true
+			}
+		}
+	}
+	switch {
+	case !takesWriter:
+		return writeNone
+	case hasErrorStatus:
+		return writeError
+	case hasSuccessStatus:
+		return writeSuccess
+	}
+	if fd := c.decls[f]; fd != nil && fd.Body != nil {
+		return c.bodyClass(fd)
+	}
+	return writeSuccess // unknown writer-taking call: conservative
+}
+
+// bodyClass memoizes the strongest write class found in a same-package
+// helper's body. Recursion through helper chains is cycle-safe: a function
+// currently being classified contributes writeNone to its own cycle.
+func (c *vhChecker) bodyClass(fd *ast.FuncDecl) writeClass {
+	if class, ok := c.memo[fd]; ok {
+		return class
+	}
+	c.memo[fd] = writeNone // in-progress marker; breaks recursion cycles
+	class := writeNone
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || isVersionHeaderSet(c.pass, call) {
+			return true
+		}
+		if got := c.classify(call); got > class {
+			class = got
+		}
+		return class != writeSuccess
+	})
+	c.memo[fd] = class
+	return class
+}
