@@ -29,6 +29,7 @@ import (
 	"domainnet/internal/domainnet"
 	"domainnet/internal/engine"
 	"domainnet/internal/lake"
+	"domainnet/internal/obs"
 	"domainnet/internal/persist"
 	"domainnet/internal/repl"
 	"domainnet/internal/serve"
@@ -364,6 +365,39 @@ func TestEmitBenchJSON(t *testing.T) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				srv.ServeHTTP(w, req)
+			}
+		}},
+		{"metrics_overhead_sb", func(b *testing.B) {
+			// The observability layer's per-request cost in isolation: an
+			// Instrumented no-op handler pays the status wrapper, one
+			// histogram observation, the counters, and a pooled trace that
+			// recycles uncaptured under the production 50ms gate. The stage
+			// asserts the budget — at most 2 allocations per request — before
+			// timing; topk_cached_encode_sb bounds the same overhead riding a
+			// real endpoint's 5-alloc cached path.
+			es := &obs.Endpoints{}
+			tr := &obs.Tracer{}
+			h := obs.Instrumented(es, tr, "noop", func(w http.ResponseWriter, r *http.Request) {
+				sp := obs.ActiveFrom(w).StartSpan("work")
+				sp.End()
+				w.WriteHeader(http.StatusOK)
+			})
+			req := httptest.NewRequest(http.MethodGet, "/noop", nil)
+			w := &nullResponseWriter{h: make(http.Header)}
+			if allocs := testing.AllocsPerRun(200, func() { h(w, req) }); allocs > 2 {
+				b.Fatalf("instrumented no-op request costs %.0f allocs/op, budget is 2", allocs)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h(w, req)
+			}
+			b.StopTimer()
+			m := es.Get("noop").Metrics()
+			if m.Count < int64(b.N) || m.P99NS <= 0 {
+				b.Fatalf("accounting lost requests: %+v", m)
+			}
+			if st := tr.Stats(); st.Captured != 0 {
+				b.Fatalf("production gate captured %d fast traces", st.Captured)
 			}
 		}},
 		{"batch_ingest_sb", func(b *testing.B) {

@@ -9,7 +9,7 @@
 //	           [-follow http://leader:8080]
 //	           [-measure bc|bc-exact|bc-eps|lcc|lcc-attr|degree|harmonic]
 //	           [-warm-measures bc,lcc] [-samples 0] [-seed 1] [-workers 0]
-//	           [-keep-singletons]
+//	           [-keep-singletons] [-trace-slow 50ms] [-debug-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -17,7 +17,9 @@
 //	GET    /score?value=jaguar     one value's score (normalized lookup)
 //	GET    /stats                  lake and graph statistics + version
 //	GET    /scorers                available measures
-//	GET    /metrics                warmer counters + per-endpoint latency
+//	GET    /metrics                per-endpoint latency percentiles, runtime and
+//	                               warmer telemetry (?format=prom for Prometheus)
+//	GET    /debug/traces           captured slow-request traces with named spans
 //	POST   /tables                 batch-add tables (multipart, CSV per part)
 //	POST   /tables/{name}          add a table (request body: CSV)
 //	DELETE /tables/{name}          remove a table
@@ -49,6 +51,14 @@
 // serves reads at the leader's versions; its own mutation endpoints answer
 // 403. A replica that falls behind the leader's truncated log re-bootstraps
 // from the snapshot stream automatically.
+//
+// Observability: every request books into a lock-free latency histogram, so
+// GET /metrics reports p50/p95/p99 per endpoint (JSON, or Prometheus text
+// with ?format=prom). Requests slower than -trace-slow (default 50ms; a
+// negative value captures everything — a test and debugging mode) are
+// captured with named spans into a bounded ring served by GET /debug/traces.
+// -debug-addr exposes net/http/pprof on a separate listener with its own
+// mux, so the profiling surface never rides the public address.
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +80,7 @@ import (
 	"domainnet/internal/bipartite"
 	"domainnet/internal/domainnet"
 	"domainnet/internal/lake"
+	"domainnet/internal/obs"
 	"domainnet/internal/persist"
 	"domainnet/internal/repl"
 	"domainnet/internal/serve"
@@ -91,6 +103,8 @@ type config struct {
 	seed            int64
 	workers         int
 	keep            bool
+	traceSlow       time.Duration
+	debugAddr       string
 }
 
 // parseFlags parses and validates args (without the program name). It fails
@@ -114,6 +128,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.Int64Var(&c.seed, "seed", 1, "random seed for sampling")
 	fs.IntVar(&c.workers, "workers", 0, "parallelism for graph build and scoring (0 = all CPUs)")
 	fs.BoolVar(&c.keep, "keep-singletons", false, "keep values occurring only once")
+	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "capture traces for requests slower than this (0 = 50ms default; negative captures every request)")
+	fs.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty disables; keep it off public interfaces)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -213,10 +229,36 @@ func main() {
 func run(c *config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if c.debugAddr != "" {
+		if err := startDebugServer(c.debugAddr, "domainnetd"); err != nil {
+			return err
+		}
+	}
 	if c.follow != "" {
 		return runFollower(ctx, c, stop)
 	}
 	return runLeader(ctx, c, stop)
+}
+
+// startDebugServer exposes net/http/pprof on its own listener with a
+// manually built mux. The profiling surface never registers on the public
+// handler: it can dump heap contents and stall the process with profiles,
+// so it binds only where the operator explicitly points -debug-addr.
+func startDebugServer(addr, name string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // debug-only listener, dies with the process
+	log.Printf("%s: debug (pprof) listening on %s", name, ln.Addr())
+	return nil
 }
 
 // serveUntilShutdown listens on c.addr, serves handler, and drains on
@@ -363,6 +405,7 @@ func runLeader(ctx context.Context, c *config, stop func()) error {
 	var opts serve.Options
 	opts.Graph = warmGraph
 	opts.WarmMeasures = c.warmMeasures
+	opts.Tracer = &obs.Tracer{SlowThreshold: c.traceSlow}
 	if leader != nil {
 		opts.OnCommit = leader.OnCommit
 	}
@@ -451,6 +494,7 @@ func runFollower(ctx context.Context, c *config, stop func()) error {
 		WarmMeasures: c.warmMeasures,
 		Client:       &http.Client{Timeout: repl.DefaultPollTimeout + 15*time.Second},
 		Logf:         log.Printf,
+		Tracer:       &obs.Tracer{SlowThreshold: c.traceSlow},
 	}
 	go f.Run(ctx) //nolint:errcheck // exits with ctx; errors are logged via Logf
 	return serveUntilShutdown(ctx, c, stop, f,

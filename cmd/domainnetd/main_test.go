@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"domainnet/internal/domainnet"
+	"domainnet/internal/obs"
 	"domainnet/internal/router"
 )
 
@@ -107,8 +108,9 @@ func TestParseWarmMeasures(t *testing.T) {
 
 // daemon is one live domainnetd child process.
 type daemon struct {
-	cmd *exec.Cmd
-	url string
+	cmd      *exec.Cmd
+	url      string
+	debugURL string // pprof listener, when started with -debug-addr
 }
 
 // startDaemon launches the test binary as a daemon and waits for it to log
@@ -138,11 +140,21 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	})
 
 	addr := make(chan string, 1)
+	debugAddr := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
 			t.Logf("[daemon %d] %s", cmd.Process.Pid, line)
+			// The pprof listener logs first and also says "listening on";
+			// match it before the main-address line can swallow it.
+			if _, a, ok := strings.Cut(line, "debug (pprof) listening on "); ok {
+				select {
+				case debugAddr <- strings.TrimSpace(a):
+				default:
+				}
+				continue
+			}
 			if _, a, ok := strings.Cut(line, "listening on "); ok {
 				select {
 				case addr <- strings.TrimSpace(a):
@@ -156,6 +168,13 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 		d.url = "http://" + a
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not log its listening address")
+	}
+	// The debug line, when enabled, precedes the main one, so it has already
+	// been scanned by now; a non-blocking read suffices.
+	select {
+	case a := <-debugAddr:
+		d.debugURL = "http://" + a
+	default:
 	}
 	return d
 }
@@ -455,4 +474,181 @@ func TestProcessFleet(t *testing.T) {
 	f2.shutdown(t)
 	f1.shutdown(t)
 	leader.shutdown(t)
+}
+
+// TestProcessObsTracing is the observability acceptance scenario, run over
+// real daemon processes: a read routed through the fleet edge is traced at
+// the router AND at the backend daemon under one trace ID, both traces are
+// retrievable from the respective /debug/traces, the fleet-wide /lb/metrics
+// merge covers every process, and the pprof surface answers only on its
+// dedicated -debug-addr listener, never the public one.
+func TestProcessObsTracing(t *testing.T) {
+	dir := t.TempDir()
+	// -trace-slow -1ns captures every request — the test mode; production
+	// keeps the default 50ms gate.
+	leader := startDaemon(t,
+		"-wal", filepath.Join(dir, "wal"),
+		"-measure", "degree",
+		"-name", "obstest",
+		"-trace-slow", "-1ns",
+		"-debug-addr", "127.0.0.1:0",
+	)
+	if leader.debugURL == "" {
+		t.Fatal("leader did not log its -debug-addr listener")
+	}
+	for i := 0; i < 3; i++ {
+		leader.post(t, fmt.Sprintf("t%d", i), csvTable(i))
+	}
+	follower := startDaemon(t, "-follow", leader.url, "-measure", "degree", "-trace-slow", "-1ns")
+	follower.waitVersion(t, leader.version(t), 15*time.Second)
+
+	rt, err := router.New(router.Options{
+		Leader:   leader.url,
+		Replicas: []string{follower.url},
+		Client:   &http.Client{Timeout: 2 * time.Second},
+		Logf:     t.Logf,
+		Tracer:   &obs.Tracer{SlowThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckNow(context.Background())
+	if st := rt.Status(); st.Admitted != 1 {
+		t.Fatalf("follower not admitted: %+v", st)
+	}
+	lb := httptest.NewServer(rt)
+	defer lb.Close()
+
+	// One routed read; the router mints the trace ID and stamps it on both
+	// the proxied request and the response.
+	resp, err := http.Get(lb.URL + "/topk?k=5&measure=degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	id := resp.Header.Get(obs.TraceHeader)
+	if len(id) != 16 {
+		t.Fatalf("routed response carries no trace ID: %q", id)
+	}
+	if got := resp.Header.Get(router.BackendHeader); got != follower.url {
+		t.Fatalf("read served by %q, want the follower %q", got, follower.url)
+	}
+
+	// findTrace digs the trace with our ID out of a /debug/traces dump.
+	findTrace := func(body string) map[string]any {
+		t.Helper()
+		var dump map[string]any
+		if err := json.Unmarshal([]byte(body), &dump); err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range dump["traces"].([]any) {
+			tr := tr.(map[string]any)
+			if tr["id"] == id {
+				return tr
+			}
+		}
+		return nil
+	}
+	spanNames := func(tr map[string]any) map[string]bool {
+		names := make(map[string]bool)
+		for _, sp := range tr["spans"].([]any) {
+			names[sp.(map[string]any)["name"].(string)] = true
+		}
+		return names
+	}
+
+	// The router's leg: endpoint topk, an upstream span, the backend noted.
+	routerResp, err := http.Get(lb.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(routerResp.Body)
+	routerResp.Body.Close()
+	routerTrace := findTrace(string(rb))
+	if routerTrace == nil {
+		t.Fatalf("trace %s missing from the router's /debug/traces: %s", id, rb)
+	}
+	if routerTrace["endpoint"] != "topk" || routerTrace["note"] != follower.url {
+		t.Fatalf("router trace = %v", routerTrace)
+	}
+	if !spanNames(routerTrace)["upstream"] {
+		t.Fatalf("router trace lacks the upstream span: %v", routerTrace)
+	}
+
+	// The backend's leg of the same request: same ID, handler-level spans.
+	backendTrace := findTrace(follower.get(t, "/debug/traces"))
+	if backendTrace == nil {
+		t.Fatalf("trace %s missing from the follower's /debug/traces", id)
+	}
+	if backendTrace["endpoint"] != "topk" {
+		t.Fatalf("backend trace = %v", backendTrace)
+	}
+	names := spanNames(backendTrace)
+	for _, want := range []string{"parse", "snapshot", "score", "encode"} {
+		if !names[want] {
+			t.Fatalf("backend trace lacks span %q: %v", want, backendTrace)
+		}
+	}
+
+	// Fleet-wide metrics cover both daemons plus the router's own edge.
+	var fm map[string]any
+	if err := json.Unmarshal([]byte(get2(t, lb.URL+"/lb/metrics")), &fm); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range fm["backends"].([]any) {
+		if b.(map[string]any)["error"] != nil {
+			t.Fatalf("fleet scrape failed: %v", b)
+		}
+	}
+	fleetTopk := fm["fleet"].(map[string]any)["topk"].(map[string]any)
+	if fleetTopk["count"].(float64) < 1 || fleetTopk["p99_ns"].(float64) <= 0 {
+		t.Fatalf("fleet topk metrics implausible: %v", fleetTopk)
+	}
+	// The follower's own /metrics carries its replication lag.
+	var fmm map[string]any
+	if err := json.Unmarshal([]byte(follower.get(t, "/metrics")), &fmm); err != nil {
+		t.Fatal(err)
+	}
+	repl := fmm["replication"].(map[string]any)
+	if repl["leader_reachable"] != true {
+		t.Fatalf("follower replication telemetry = %v", repl)
+	}
+
+	// pprof answers on the dedicated listener only.
+	pr, err := http.Get(leader.debugURL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, pr.Body) //nolint:errcheck
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("pprof on -debug-addr = %d", pr.StatusCode)
+	}
+	pub, err := http.Get(leader.url + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Body.Close()
+	if pub.StatusCode == http.StatusOK {
+		t.Fatal("pprof exposed on the public listener")
+	}
+
+	follower.shutdown(t)
+	leader.shutdown(t)
+}
+
+// get2 fetches a URL, expecting 200, and returns the body.
+func get2(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", url, resp.StatusCode, b)
+	}
+	return string(b)
 }

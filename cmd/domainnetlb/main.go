@@ -8,7 +8,8 @@
 //	domainnetlb -leader http://leader:8080 \
 //	            [-replicas http://r1:8080,http://r2:8080] \
 //	            [-addr :8090] [-max-lag 8] [-readmit-lag 4] \
-//	            [-check-interval 2s]
+//	            [-check-interval 2s] [-trace-slow 50ms] \
+//	            [-debug-addr localhost:6061]
 //
 // The router probes the leader's version and every replica's /repl/status on
 // -check-interval, ejecting a replica whose lag exceeds -max-lag and
@@ -18,6 +19,15 @@
 // reads fall back to the leader. GET /lb/status reports the fleet view; every
 // proxied response carries X-Domainnet-Backend naming the server that
 // actually answered.
+//
+// Observability: the router is the fleet's trace edge — every proxied
+// request is minted an X-Domainnet-Trace ID (stamped on the outbound
+// request, echoed on the response), so a slow request captured here and at
+// the backend shares one ID; GET /debug/traces serves the captured ring,
+// gated by -trace-slow. GET /lb/metrics scrapes every backend's /metrics
+// and merges the per-endpoint latency histograms bucket-wise into
+// fleet-wide percentiles (?format=prom for Prometheus text). -debug-addr
+// exposes net/http/pprof on a separate listener with its own mux.
 package main
 
 import (
@@ -28,12 +38,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"domainnet/internal/obs"
 	"domainnet/internal/router"
 )
 
@@ -46,6 +58,8 @@ type config struct {
 	maxLag        uint64
 	readmitLag    uint64
 	checkInterval time.Duration
+	traceSlow     time.Duration
+	debugAddr     string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -59,6 +73,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&maxLag, "max-lag", router.DefaultMaxLag, "eject a replica lagging more than this many versions behind the leader")
 	fs.IntVar(&readmitLag, "readmit-lag", 0, "readmit an ejected replica at or below this lag (0 = max-lag/2)")
 	fs.DurationVar(&c.checkInterval, "check-interval", router.DefaultCheckInterval, "health-probe cadence")
+	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "capture traces for proxied requests slower than this (0 = 50ms default; negative captures every request)")
+	fs.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty disables; keep it off public interfaces)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -107,9 +123,15 @@ func run(c *config) error {
 		ReadmitLag:    c.readmitLag,
 		CheckInterval: c.checkInterval,
 		Logf:          log.Printf,
+		Tracer:        &obs.Tracer{SlowThreshold: c.traceSlow},
 	})
 	if err != nil {
 		return err
+	}
+	if c.debugAddr != "" {
+		if err := startDebugServer(c.debugAddr); err != nil {
+			return err
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -140,5 +162,25 @@ func run(c *config) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("domainnetlb: shutdown: %v", err)
 	}
+	return nil
+}
+
+// startDebugServer exposes net/http/pprof on its own listener with a
+// manually built mux — the profiling surface never registers on the public
+// routing handler.
+func startDebugServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // debug-only listener, dies with the process
+	log.Printf("domainnetlb: debug (pprof) listening on %s", ln.Addr())
 	return nil
 }

@@ -12,7 +12,43 @@ func routes() *http.ServeMux {
 	mux.HandleFunc("GET /errfirst", handleErrorFirst)
 	mux.Handle("GET /wrapped", wrap("wrapped", handleWrappedNever))
 	mux.HandleFunc("POST /ingest", handleMutation)
+	reg := &registrar{mux: mux}
+	reg.HandleInstrumented("GET /inst", "inst", handleInstrumentedGood)
+	reg.HandleInstrumented("GET /instnever", "instnever", handleInstrumentedNever)
+	reg.HandleInstrumented("POST /instingest", "instingest", handleMutation)
 	return mux
+}
+
+// registrar mimics the serving layer's HandleInstrumented shape: the
+// endpoint name interposes between the pattern and the handler, so the
+// analyzer must scan past it to find the handler argument.
+type registrar struct{ mux *http.ServeMux }
+
+func (s *registrar) HandleInstrumented(pattern, name string, h http.HandlerFunc) {
+	_ = name
+	s.mux.HandleFunc(pattern, h)
+}
+
+// peek mimics the trace-carrier probe (traceActive): a same-package helper
+// that takes the writer but performs no writes must classify as harmless,
+// not as a body write.
+func peek(w http.ResponseWriter) string {
+	if c, ok := w.(interface{ Name() string }); ok {
+		return c.Name()
+	}
+	return ""
+}
+
+// handleInstrumentedGood probes the writer before stamping — fine, because
+// peek never writes.
+func handleInstrumentedGood(w http.ResponseWriter, r *http.Request) {
+	_ = peek(w)
+	w.Header().Set("X-Domainnet-Version", "1")
+	w.Write([]byte("ok"))
+}
+
+func handleInstrumentedNever(w http.ResponseWriter, r *http.Request) { // want "never sets the X-Domainnet-Version header"
+	w.Write([]byte("ok"))
 }
 
 // wrap mimics the serving middleware shape: the analyzer must find the

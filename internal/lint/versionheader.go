@@ -19,10 +19,12 @@ const versionHeaderName = "X-Domainnet-Version"
 // header; a read that answers without it (or after bytes are already on the
 // wire) silently breaks fleet version tracking.
 //
-// Handlers are resolved from Handle/HandleFunc registrations by unwrapping
-// any call layers around the second argument (s.instrument("topk",
-// s.handleTopK), http.HandlerFunc(ld.handleChanges)) down to functions with
-// the (http.ResponseWriter, *http.Request) signature declared in the same
+// Handlers are resolved from Handle/HandleFunc/HandleInstrumented
+// registrations by unwrapping any call layers around the arguments after
+// the pattern (s.instrument("topk", s.handleTopK),
+// http.HandlerFunc(ld.handleChanges), the trailing handler of
+// s.HandleInstrumented("GET /x", "x", h)) down to functions with the
+// (http.ResponseWriter, *http.Request) signature declared in the same
 // package. Within a handler, writes are classified by position: a call
 // carrying an int constant >= 400 alongside the ResponseWriter is an
 // error-path write (exempt — error responses are not cached), and a call
@@ -61,20 +63,30 @@ func (VersionHeader) Run(p *Pass) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") || len(call.Args) < 2 {
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Handle", "HandleFunc", "HandleInstrumented":
+			default:
 				return true
 			}
 			pattern, ok := stringConstant(p.Info, call.Args[0])
 			if !ok || !strings.HasPrefix(pattern, "GET ") {
 				return true
 			}
-			for _, fn := range c.handlerFuncs(call.Args[1]) {
-				fd := c.decls[fn]
-				if fd == nil || checked[fd] || !isHandlerSig(fn) {
-					continue
+			// Every argument after the pattern may carry the handler
+			// (HandleInstrumented interposes an endpoint name, so the
+			// handler is not always argument two).
+			for _, arg := range call.Args[1:] {
+				for _, fn := range c.handlerFuncs(arg) {
+					fd := c.decls[fn]
+					if fd == nil || checked[fd] || !isHandlerSig(fn) {
+						continue
+					}
+					checked[fd] = true
+					c.checkHandler(fd, pattern)
 				}
-				checked[fd] = true
-				c.checkHandler(fd, pattern)
 			}
 			return true
 		})

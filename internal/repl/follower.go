@@ -9,10 +9,12 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"domainnet/internal/domainnet"
+	"domainnet/internal/obs"
 	"domainnet/internal/persist"
 	"domainnet/internal/serve"
 	"domainnet/internal/wal"
@@ -70,6 +72,21 @@ type Follower struct {
 	// hatch. (A leader predating the chunk protocol needs no flag — the
 	// default path detects the raw response and decodes it as-is.)
 	RawBootstrap bool
+	// Obs, when non-nil, is the endpoint-accounting registry shared with
+	// every replica server this follower installs. Nil gets a private
+	// registry created on first use. Either way the registry outlives
+	// re-bootstraps: /metrics counters survive snapshot re-installs.
+	Obs *obs.Endpoints
+	// Tracer, when non-nil, is the slow-request tracer shared with every
+	// installed replica server (and the follower's own /repl/status
+	// handler). Nil gets a private zero-value tracer.
+	Tracer *obs.Tracer
+
+	// obsOnce latches the defaults above and the instrumented status
+	// handler, so a zero-value Follower still shares one registry across
+	// every server it installs.
+	obsOnce sync.Once
+	statusH http.HandlerFunc
 
 	srv atomic.Pointer[serve.Server]
 
@@ -149,6 +166,22 @@ func (f *Follower) handleStatus(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(st) //nolint:errcheck // the response is already committed
 }
 
+// initObs latches the observability defaults: a private registry and tracer
+// when none were injected, and the instrumented /repl/status handler. Safe
+// on a zero-value Follower; everything it creates lives for the follower's
+// lifetime, not a single replica server's.
+func (f *Follower) initObs() {
+	f.obsOnce.Do(func() {
+		if f.Obs == nil {
+			f.Obs = &obs.Endpoints{}
+		}
+		if f.Tracer == nil {
+			f.Tracer = &obs.Tracer{}
+		}
+		f.statusH = obs.Instrumented(f.Obs, f.Tracer, "repl_status", f.handleStatus)
+	})
+}
+
 func (f *Follower) logf(format string, args ...any) {
 	if f.Logf != nil {
 		f.Logf(format, args...)
@@ -210,7 +243,8 @@ func (f *Follower) Version() uint64 {
 // sees "bootstrapping" rather than an opaque 503.
 func (f *Follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/repl/status" {
-		f.handleStatus(w, r)
+		f.initObs()
+		f.statusH(w, r)
 		return
 	}
 	s := f.srv.Load()
@@ -234,8 +268,16 @@ func (f *Follower) install(sn *persist.Snapshot) {
 			sn.Graph.KeepsSingletons(), cfg.KeepSingletons)
 		cfg.KeepSingletons = sn.Graph.KeepsSingletons()
 	}
+	f.initObs()
 	srv := serve.NewWithOptions(sn.Lake, cfg,
-		serve.Options{Graph: sn.Graph, ReadOnly: true, WarmMeasures: f.WarmMeasures})
+		serve.Options{Graph: sn.Graph, ReadOnly: true, WarmMeasures: f.WarmMeasures,
+			// Accounting, tracing and the lag gauge are the follower's, not
+			// the server's: they survive this replica being re-bootstrapped.
+			Obs: f.Obs, Tracer: f.Tracer,
+			ReplLag: func() (int64, bool) {
+				st := f.Status()
+				return int64(st.Lag), st.LeaderVersion > 0
+			}})
 	if old := f.srv.Swap(srv); old != nil {
 		old.Close() // stop the replaced replica's in-flight warm, if any
 	}

@@ -188,11 +188,13 @@ func (ld *Leader) commitSignal() <-chan struct{} {
 }
 
 // Attach mounts the replication endpoints on the server. Call once, before
-// the server starts receiving traffic.
+// the server starts receiving traffic. The endpoints register through the
+// server's instrumentation, so feed and bootstrap traffic shows up in
+// /metrics (repl_changes, repl_snapshot) next to the read endpoints.
 func (ld *Leader) Attach(s *serve.Server) {
 	ld.srv = s
-	s.Handle("GET /repl/changes", http.HandlerFunc(ld.handleChanges))
-	s.Handle("GET /repl/snapshot", http.HandlerFunc(ld.handleSnapshot))
+	s.HandleInstrumented("GET /repl/changes", "repl_changes", ld.handleChanges)
+	s.HandleInstrumented("GET /repl/snapshot", "repl_snapshot", ld.handleSnapshot)
 }
 
 // handleChanges serves the change feed: every burst past ?from=, as wal

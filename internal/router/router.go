@@ -16,6 +16,15 @@
 // than an outage.
 //
 // GET /lb/status reports the router's own view of the fleet.
+//
+// The router is also the fleet's observability edge. Every proxied request
+// is minted a trace ID (or adopts an inbound one), which is stamped on the
+// outbound request — so a backend capturing the same slow request records
+// the same ID — and echoed on the response. GET /lb/metrics scrapes every
+// backend's /metrics and merges the per-endpoint histograms bucket-wise
+// into fleet-wide quantiles (never averaging per-replica percentiles),
+// alongside the router's own accounting; GET /debug/traces dumps the
+// router's captured slow traces.
 package router
 
 import (
@@ -25,12 +34,14 @@ import (
 	"net/http"
 	"net/http/httputil"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"domainnet/internal/obs"
 	"domainnet/internal/repl"
 	"domainnet/internal/serve"
 )
@@ -75,6 +86,9 @@ type Options struct {
 	// Logf, when non-nil, receives eject/readmit transitions. log.Printf
 	// fits.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, configures the router's slow-request tracing
+	// (threshold, ring size). Default: a zero Tracer — 50ms threshold.
+	Tracer *obs.Tracer
 }
 
 // backend is one proxied upstream plus its latest probe verdict. The probe
@@ -101,6 +115,13 @@ type Router struct {
 	admitted  atomic.Pointer[[]*backend] // read rotation, rebuilt after probes
 	rr        atomic.Uint64              // round-robin cursor
 	leaderVer atomic.Uint64              // newest version seen on the leader
+
+	obs    *obs.Endpoints
+	tracer *obs.Tracer
+	// Instrumented wrappers for the router's own endpoints, built once.
+	statusH  http.HandlerFunc
+	metricsH http.HandlerFunc
+	tracesH  http.HandlerFunc
 }
 
 // New builds a router over the fleet. It does not probe; replicas join the
@@ -125,7 +146,13 @@ func New(opts Options) (*Router, error) {
 	if opts.Client == nil {
 		opts.Client = &http.Client{Timeout: 2 * time.Second}
 	}
-	rt := &Router{opts: opts}
+	rt := &Router{opts: opts, obs: &obs.Endpoints{}, tracer: opts.Tracer}
+	if rt.tracer == nil {
+		rt.tracer = &obs.Tracer{}
+	}
+	rt.statusH = obs.Instrumented(rt.obs, rt.tracer, "lb_status", rt.handleStatus)
+	rt.metricsH = obs.Instrumented(rt.obs, rt.tracer, "lb_metrics", rt.handleMetrics)
+	rt.tracesH = obs.Instrumented(rt.obs, rt.tracer, "debug_traces", rt.handleTraces)
 	var err error
 	if rt.leader, err = rt.newBackend(opts.Leader); err != nil {
 		return nil, err
@@ -151,6 +178,10 @@ func (rt *Router) newBackend(raw string) (*backend, error) {
 	b.proxy = httputil.NewSingleHostReverseProxy(u)
 	b.proxy.ModifyResponse = func(resp *http.Response) error {
 		resp.Header.Set(BackendHeader, b.url)
+		// The router already stamped the trace ID on the client response
+		// before proxying; the backend echoes the same ID, and letting the
+		// copy through would duplicate the header field.
+		resp.Header.Del(obs.TraceHeader)
 		return nil
 	}
 	b.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
@@ -202,17 +233,49 @@ func (rt *Router) pick() *backend {
 }
 
 // ServeHTTP routes one request: safe snapshot reads go to a caught-up
-// replica, everything else to the leader.
+// replica, everything else to the leader. The router's own endpoints
+// (/lb/*, /debug/traces) are served locally.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/lb/status" {
-		rt.handleStatus(w, r)
+	switch r.URL.Path {
+	case "/lb/status":
+		rt.statusH(w, r)
+		return
+	case "/lb/metrics":
+		rt.metricsH(w, r)
+		return
+	case "/debug/traces":
+		rt.tracesH(w, r)
 		return
 	}
 	if (r.Method == http.MethodGet || r.Method == http.MethodHead) && readPaths[r.URL.Path] {
-		rt.pick().proxy.ServeHTTP(w, r)
+		rt.proxyVia(strings.TrimPrefix(r.URL.Path, "/"), rt.pick(), w, r)
 		return
 	}
-	rt.leader.proxy.ServeHTTP(w, r)
+	rt.proxyVia("leader_proxy", rt.leader, w, r)
+}
+
+// proxyVia sends one request through a backend with the router's edge
+// instrumentation. It cannot use obs.Instrumented: the trace ID must be
+// minted eagerly — before the backend sees the request — so it can ride the
+// outbound TraceHeader and a slow request captured at both the router and
+// the backend shares one ID end to end. ReverseProxy clones the request
+// after our header set, so the stamp reaches the backend.
+func (rt *Router) proxyVia(name string, b *backend, w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(obs.TraceHeader)
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	r.Header.Set(obs.TraceHeader, id)
+	w.Header().Set(obs.TraceHeader, id)
+	a := rt.tracer.Start(name, id)
+	a.SetNote(b.url)
+	sp := a.StartSpan("upstream")
+	sw := obs.NewStatusWriter(w, a)
+	start := time.Now()
+	b.proxy.ServeHTTP(sw, r)
+	sp.End()
+	rt.obs.Get(name).Record(sw.Code, time.Since(start))
+	rt.tracer.Finish(a, sw.Code)
 }
 
 // probeLeader reads the leader's current version off any read endpoint's
@@ -388,8 +451,148 @@ func (rt *Router) Status() FleetStatus {
 }
 
 func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rt.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(rt.Status()) //nolint:errcheck // the response is already committed
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// backendScrape is one backend's entry in the /lb/metrics report: which
+// upstreams the fleet aggregate actually covers, and why any are missing.
+type backendScrape struct {
+	URL   string `json:"url"`
+	Error string `json:"error,omitempty"`
+}
+
+// scrapeBackend pulls one backend's /metrics and returns its per-endpoint
+// accounting. The histogram buckets ride along in the wire form, so the
+// caller can merge samples rather than averages.
+func (rt *Router) scrapeBackend(ctx context.Context, url string) (map[string]obs.EndpointMetrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	var body struct {
+		Endpoints map[string]obs.EndpointMetrics `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("/metrics: %w", err)
+	}
+	return body.Endpoints, nil
+}
+
+// handleMetrics serves GET /lb/metrics: the fleet-wide view. It scrapes the
+// leader and every replica (admitted or not — an ejected replica's history
+// still belongs in the aggregate), merges the per-endpoint histograms
+// bucket-wise, and reports fleet quantiles computed over the union of
+// samples. The router's own edge accounting rides along under "router".
+// ?format=prom renders the same in the Prometheus text format.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	urls := make([]string, 0, 1+len(rt.replicas))
+	urls = append(urls, rt.leader.url)
+	for _, b := range rt.replicas {
+		urls = append(urls, b.url)
+	}
+	scrapes := make([]backendScrape, len(urls))
+	perBackend := make([]map[string]obs.EndpointMetrics, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			m, err := rt.scrapeBackend(r.Context(), u)
+			scrapes[i] = backendScrape{URL: u}
+			if err != nil {
+				scrapes[i].Error = err.Error()
+				return
+			}
+			perBackend[i] = m
+		}(i, u)
+	}
+	wg.Wait()
+
+	fleet := make(map[string]obs.EndpointMetrics)
+	for _, m := range perBackend {
+		obs.MergeMetrics(fleet, m)
+	}
+	local := rt.obs.Metrics()
+	fs := rt.Status()
+
+	if r.URL.Query().Get("format") == "prom" {
+		rt.writeProm(w, fleet, local, fs)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"leader_version": fs.LeaderVersion,
+		"admitted":       fs.Admitted,
+		"backends":       scrapes,
+		"fleet":          fleet,
+		"router":         local,
+		"tracer":         rt.tracer.Stats(),
+		"runtime":        obs.ReadRuntime(),
+	})
+}
+
+// promEndpointFamilies renders one endpoint map as prom families under the
+// given prefix, keeping each family's series contiguous.
+func promEndpointFamilies(pw *obs.PromWriter, prefix string, m map[string]obs.EndpointMetrics) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pw.Counter(prefix+"_requests_total", m[name].Count, "endpoint", name)
+	}
+	for _, name := range names {
+		pw.Counter(prefix+"_request_errors_total", m[name].Errors, "endpoint", name)
+	}
+	for _, name := range names {
+		pw.Counter(prefix+"_not_modified_total", m[name].NotModified, "endpoint", name)
+	}
+	for _, name := range names {
+		pw.Histogram(prefix+"_request_seconds", m[name].Hist, "endpoint", name)
+	}
+}
+
+func (rt *Router) writeProm(w http.ResponseWriter, fleet, local map[string]obs.EndpointMetrics, fs FleetStatus) {
+	pw := &obs.PromWriter{}
+	promEndpointFamilies(pw, "domainnet_fleet", fleet)
+	promEndpointFamilies(pw, "domainnet_lb", local)
+	pw.Gauge("domainnet_lb_leader_version", float64(fs.LeaderVersion))
+	pw.Gauge("domainnet_lb_backends_admitted", float64(fs.Admitted))
+	ts := rt.tracer.Stats()
+	pw.Counter("domainnet_lb_traces_total", ts.Started, "stage", "started")
+	pw.Counter("domainnet_lb_traces_total", ts.Captured, "stage", "captured")
+	rs := obs.ReadRuntime()
+	pw.Gauge("domainnet_lb_goroutines", float64(rs.Goroutines))
+	pw.Gauge("domainnet_lb_heap_bytes", float64(rs.HeapBytes))
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(pw.Bytes()) //nolint:errcheck // the response is already committed
+}
+
+// handleTraces serves GET /debug/traces: the router's captured slow traces,
+// oldest first, each carrying the trace ID that the backend leg of the same
+// request logged under.
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := rt.tracer.Traces()
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	writeJSON(w, map[string]any{
+		"tracer": rt.tracer.Stats(),
+		"traces": traces,
+	})
 }

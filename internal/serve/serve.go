@@ -41,15 +41,16 @@ import (
 	"mime/multipart"
 	"net/http"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"domainnet/internal/bipartite"
 	"domainnet/internal/domainnet"
 	"domainnet/internal/lake"
+	"domainnet/internal/obs"
 	"domainnet/internal/rank"
 	"domainnet/internal/table"
 )
@@ -126,34 +127,14 @@ type Server struct {
 	warmsFullFallback atomic.Int64
 	dirtyHist         [len(dirtyBucketNames)]atomic.Int64
 
-	stats  map[string]*endpointStats // per-endpoint latency/error accounting
-	warmed []string                  // display names of warmMeasures, for /metrics
-}
-
-// endpointStats accumulates one endpoint's request accounting. All fields
-// are atomics: handlers update them concurrently and /metrics reads them
-// without coordination (the snapshot is per-field consistent, which is all
-// an operational counter needs).
-type endpointStats struct {
-	count   atomic.Int64
-	errors  atomic.Int64 // responses with status >= 400
-	totalNS atomic.Int64
-	maxNS   atomic.Int64
-}
-
-func (st *endpointStats) record(code int, d time.Duration) {
-	st.count.Add(1)
-	if code >= 400 {
-		st.errors.Add(1)
-	}
-	ns := d.Nanoseconds()
-	st.totalNS.Add(ns)
-	for {
-		cur := st.maxNS.Load()
-		if ns <= cur || st.maxNS.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
+	// Observability: per-endpoint accounting (counts, errors, 304s, latency
+	// histograms with quantiles) and the slow-request tracer. The Endpoints
+	// registry may be shared — a replication follower hands every server it
+	// re-bootstraps the same registry, so accounting survives snapshot swaps.
+	obs     *obs.Endpoints
+	tracer  *obs.Tracer
+	replLag func() (lag int64, ok bool)
+	warmed  []string // display names of warmMeasures, for /metrics
 }
 
 // Options extend New for warm starts and operational hooks.
@@ -189,6 +170,21 @@ type Options struct {
 	// centrality recompute inline. A newer publish cancels the in-flight
 	// warm of the snapshot it supersedes (see WarmStats for the counters).
 	WarmMeasures []domainnet.Measure
+	// Obs, when non-nil, is the endpoint-accounting registry the server
+	// records into. Passing one in shares accounting across server rebuilds:
+	// a replication follower keeps one registry for the lifetime of the
+	// process and hands it to each server it bootstraps, so /metrics
+	// survives snapshot re-installs. Nil gets a private registry.
+	Obs *obs.Endpoints
+	// Tracer, when non-nil, captures slow requests into its ring, exposed at
+	// GET /debug/traces. Nil gets a private zero-value tracer (default slow
+	// threshold, default ring).
+	Tracer *obs.Tracer
+	// ReplLag, when non-nil, reports this replica's replication lag
+	// (leader version − local version) for the /metrics replication
+	// section; ok is false when the leader is unreachable or the follower
+	// has not bootstrapped. Followers wire this to their status.
+	ReplLag func() (lag int64, ok bool)
 }
 
 // Mutation describes one validated, not-yet-applied mutation burst: the
@@ -303,7 +299,13 @@ func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	s := &Server{cfg: cfg, lake: l, afterPublish: opts.AfterPublish,
 		onCommit: opts.OnCommit, readOnly: opts.ReadOnly,
 		warmMeasures: opts.WarmMeasures,
-		stats:        make(map[string]*endpointStats)}
+		obs:          opts.Obs, tracer: opts.Tracer, replLag: opts.ReplLag}
+	if s.obs == nil {
+		s.obs = &obs.Endpoints{}
+	}
+	if s.tracer == nil {
+		s.tracer = &obs.Tracer{}
+	}
 	for _, m := range s.warmMeasures {
 		s.warmed = append(s.warmed, m.String())
 	}
@@ -318,7 +320,8 @@ func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	mux.HandleFunc("GET /score", s.instrument("score", s.handleScore))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /scorers", s.instrument("scorers", s.handleScorers))
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("debug_traces", s.handleTraces))
 	mux.HandleFunc("POST /tables", s.instrument("batch_add", s.handleBatchAdd))
 	mux.HandleFunc("POST /tables/{name}", s.instrument("add_table", s.handleAddTable))
 	mux.HandleFunc("DELETE /tables/{name}", s.instrument("remove_table", s.handleRemoveTable))
@@ -326,29 +329,22 @@ func NewWithOptions(l *lake.Lake, cfg domainnet.Config, opts Options) *Server {
 	return s
 }
 
-// instrument wraps a handler with the endpoint's latency and error
-// accounting. Registration happens at construction, before the server
-// escapes, so the stats map is never written concurrently.
+// instrument wraps a handler with the endpoint's accounting and tracing
+// (obs.Instrumented): status-coded counts, the latency histogram behind the
+// /metrics percentiles, and slow-request capture.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	st := &endpointStats{}
-	s.stats[name] = st
-	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
-		h(sw, r)
-		st.record(sw.code, time.Since(start))
+	return obs.Instrumented(s.obs, s.tracer, name, h)
+}
+
+// traceActive extracts the request's in-flight trace from the instrumented
+// ResponseWriter (nil, safe to record into, when absent). Handlers reach
+// their trace through the writer instead of a request context so the hot
+// path stays allocation-free.
+func traceActive(w http.ResponseWriter) *obs.Active {
+	if sw, ok := w.(*obs.StatusWriter); ok {
+		return sw.TraceActive()
 	}
-}
-
-// statusWriter captures the response status for the endpoint accounting.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
+	return nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -358,6 +354,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // follower traffic share one listener. Register handlers before the server
 // starts receiving requests.
 func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// HandleInstrumented is Handle with the server's endpoint accounting and
+// tracing wrapped around the handler, under the given endpoint name — the
+// replication endpoints register through this so /repl/changes latency shows
+// up in /metrics next to the read endpoints.
+func (s *Server) HandleInstrumented(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, h))
+}
 
 // Version reports the currently served snapshot version.
 func (s *Server) Version() uint64 { return s.snap.Load().version }
@@ -506,13 +510,23 @@ func (s *Server) scheduleWarm(sn *snapshot, carried bool) {
 	s.warmMu.Unlock()
 	s.warmsStarted.Add(1)
 	go func() {
+		// Warms are traced like requests: one trace named "warm" with a span
+		// per measure. Centrality recomputes dwarf any slow threshold, so
+		// warm traces land in /debug/traces, where a slow post-publish read
+		// can be told apart from a slow warm.
+		wa := s.tracer.Start("warm", "")
+		wa.SetNote("v" + sn.verStr)
 		if gate != nil {
 			gate(sn.version)
 		}
 		for _, m := range s.warmMeasures {
+			sp := wa.StartSpan(m.String())
 			d := sn.detector(m, s.cfg)
-			if err := d.Warm(ctx); err != nil {
+			err := d.Warm(ctx)
+			sp.End()
+			if err != nil {
 				s.warmsCancelled.Add(1)
+				s.tracer.Finish(wa, http.StatusServiceUnavailable)
 				return
 			}
 			s.recordWarmPath(sn.dc, m, d)
@@ -521,6 +535,7 @@ func (s *Server) scheduleWarm(sn *snapshot, carried bool) {
 		// cache has nothing left to contribute.
 		sn.dc.clearPrior()
 		s.warmsCompleted.Add(1)
+		s.tracer.Finish(wa, http.StatusOK)
 	}()
 }
 
@@ -651,6 +666,8 @@ func toScoredJSON(in []rank.Scored) []scoredJSON {
 // If-None-Match is answered 304 with no body. A router-fronted fleet serving
 // repeat queries does a few header writes per request and nothing else.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	a := traceActive(w)
+	sp := a.StartSpan("parse")
 	mname, kstr, fast := fastTopKQuery(r.URL.RawQuery)
 	if !fast {
 		q := r.URL.Query()
@@ -672,14 +689,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	sp.End()
+	sp = a.StartSpan("snapshot")
 	sn := s.snap.Load()
 	e := sn.topk.load(topkKey{m, k})
+	sp.End()
 	if e != nil {
 		// The entry exists only because a previous request computed the
 		// ranking, so a cache hit is by definition a warm read.
 		s.warmHits.Add(1)
 	} else {
-		e = s.encodeTopK(sn, m, k)
+		e = s.encodeTopK(a, sn, m, k)
 	}
 	h := w.Header()
 	h.Set("ETag", e.etag)
@@ -697,14 +717,18 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // snapshot's cache. The bytes are identical to what writeJSON would have
 // produced, so cached and uncached responses are indistinguishable on the
 // wire (process-restart and replica-equality tests compare them directly).
-func (s *Server) encodeTopK(sn *snapshot, m domainnet.Measure, k int) *topkEntry {
+func (s *Server) encodeTopK(a *obs.Active, sn *snapshot, m domainnet.Measure, k int) *topkEntry {
 	d := sn.detector(m, s.cfg)
 	if d.Ready() {
 		s.warmHits.Add(1)
 	} else {
 		s.coldMisses.Add(1)
 	}
+	sp := a.StartSpan("score")
 	top := d.TopK(k)
+	sp.End()
+	sp = a.StartSpan("encode")
+	defer sp.End()
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -736,7 +760,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.coldMisses.Add(1)
 	}
+	sp := traceActive(w).StartSpan("score")
 	score, found := d.Score(v)
+	sp.End()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": sn.version,
 		"measure": m.String(),
@@ -777,29 +803,21 @@ func (s *Server) handleScorers(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics exposes the server's operational counters as JSON: snapshot
-// version, publish count, the warmer's lifecycle and hit/miss counters, and
-// per-endpoint request accounting (count, errors, total/avg/max latency).
-// It is the observability face of the warm pipeline: warm.cancelled rising
-// under churn is the warmer shedding superseded work, and endpoints.topk
-// max_ns collapsing after enabling WarmMeasures is the point of it.
+// handleMetrics exposes the server's operational counters: snapshot version,
+// publish count, the warmer's lifecycle and hit/miss counters, per-endpoint
+// request accounting (counts, errors, 304s, avg/max and p50/p95/p99 latency
+// from the log-bucketed histogram, plus the raw histogram for fleet merging),
+// runtime telemetry, tracer counters, and — on replicas — replication lag.
+// ?format=prom renders the same data in the Prometheus text exposition
+// format. It is the observability face of the warm pipeline: warm.cancelled
+// rising under churn is the warmer shedding superseded work, and
+// endpoints.topk p99_ns collapsing after enabling WarmMeasures is the point
+// of it.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(VersionHeader, s.snap.Load().verStr)
-	endpoints := make(map[string]any, len(s.stats))
-	for name, st := range s.stats {
-		count := st.count.Load()
-		total := st.totalNS.Load()
-		var avg int64
-		if count > 0 {
-			avg = total / count
-		}
-		endpoints[name] = map[string]int64{
-			"count":    count,
-			"errors":   st.errors.Load(),
-			"total_ns": total,
-			"avg_ns":   avg,
-			"max_ns":   st.maxNS.Load(),
-		}
+	if r.URL.Query().Get("format") == "prom" {
+		s.writeProm(w)
+		return
 	}
 	warmed := s.warmed
 	if warmed == nil {
@@ -809,7 +827,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, name := range dirtyBucketNames {
 		dirtyHist[name] = s.dirtyHist[i].Load()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"version":   s.Version(),
 		"publishes": s.Publishes(),
 		"warm": map[string]any{
@@ -823,7 +841,83 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"full_fallback": s.warmsFullFallback.Load(),
 			"dirty_hist":    dirtyHist,
 		},
-		"endpoints": endpoints,
+		"endpoints": s.obs.Metrics(),
+		"runtime":   obs.ReadRuntime(),
+		"tracer":    s.tracer.Stats(),
+	}
+	if s.replLag != nil {
+		lag, ok := s.replLag()
+		payload["replication"] = map[string]any{"lag": lag, "leader_reachable": ok}
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// writeProm renders /metrics in the Prometheus text exposition format —
+// hand-rendered by obs.PromWriter, no client library. Endpoint families are
+// emitted in sorted-name order so scrapes are diffable.
+func (s *Server) writeProm(w http.ResponseWriter) {
+	em := s.obs.Metrics()
+	names := make([]string, 0, len(em))
+	for name := range em {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var p obs.PromWriter
+	for _, name := range names {
+		p.Counter("domainnet_requests_total", em[name].Count, "endpoint", name)
+	}
+	for _, name := range names {
+		p.Counter("domainnet_request_errors_total", em[name].Errors, "endpoint", name)
+	}
+	for _, name := range names {
+		p.Counter("domainnet_not_modified_total", em[name].NotModified, "endpoint", name)
+	}
+	for _, name := range names {
+		p.Histogram("domainnet_request_seconds", em[name].Hist, "endpoint", name)
+	}
+	p.Gauge("domainnet_snapshot_version", float64(s.Version()))
+	p.Counter("domainnet_publishes_total", s.Publishes())
+	ws := s.WarmStats()
+	p.Counter("domainnet_warms_total", ws.Started, "result", "started")
+	p.Counter("domainnet_warms_total", ws.Completed, "result", "completed")
+	p.Counter("domainnet_warms_total", ws.Cancelled, "result", "cancelled")
+	p.Counter("domainnet_warm_reads_total", ws.Hits, "cache", "hit")
+	p.Counter("domainnet_warm_reads_total", ws.Misses, "cache", "miss")
+	ts := s.tracer.Stats()
+	p.Counter("domainnet_traces_total", ts.Started, "stage", "started")
+	p.Counter("domainnet_traces_total", ts.Captured, "stage", "captured")
+	rs := obs.ReadRuntime()
+	p.Gauge("domainnet_goroutines", float64(rs.Goroutines))
+	p.Gauge("domainnet_heap_bytes", float64(rs.HeapBytes))
+	p.Gauge("domainnet_gc_cycles", float64(rs.GCCycles))
+	p.Gauge("domainnet_gc_pause_p99_seconds", float64(rs.GCPauseP99NS)/1e9)
+	if s.replLag != nil {
+		lag, ok := s.replLag()
+		p.Gauge("domainnet_replication_lag", float64(lag))
+		up := 0.0
+		if ok {
+			up = 1
+		}
+		p.Gauge("domainnet_replication_leader_reachable", up)
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(p.Bytes()) //nolint:errcheck // the response is already committed
+}
+
+// handleTraces dumps the tracer's captured ring (oldest first) with its
+// counters — the debugging view of recent slow requests, each with its
+// propagated ID, per-phase spans, and (on a router-forwarded request) the
+// backend that served it.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(VersionHeader, s.snap.Load().verStr)
+	traces := s.tracer.Traces()
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tracer": s.tracer.Stats(),
+		"traces": traces,
 	})
 }
 
