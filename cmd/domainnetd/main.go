@@ -352,7 +352,11 @@ func runLeader(ctx context.Context, c *config, stop func()) error {
 		if wlog, err = wal.Open(c.walDir, wal.Options{}); err != nil {
 			return err
 		}
-		defer wlog.Close()
+		defer func() {
+			if cerr := wlog.Close(); cerr != nil {
+				log.Printf("domainnetd: closing wal: %v", cerr)
+			}
+		}()
 		if _, _, hasHistory := wlog.Bounds(); hasHistory && dirLoaded {
 			// The log's records chain from the lake state that existed when
 			// they were committed — which was pinned by a snapshot, not by

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	domainnetvet [-json] [-run analyzer[,analyzer]] [packages]
+//	domainnetvet [-json] [-list] [-run analyzer[,analyzer]] [packages]
 //
-// With no patterns it checks ./... . Exit status: 0 clean, 1 diagnostics
-// reported, 2 usage or load failure.
+// With no patterns it checks ./... . -list prints the analyzer catalog
+// (name, one-line doc, and whether the check is interprocedural) instead of
+// running anything; combined with -json it emits the catalog as JSON. Exit
+// status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,9 +31,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("domainnetvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+	listOnly := fs.Bool("list", false, "print the analyzer catalog and exit")
 	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: domainnetvet [-json] [-run analyzer[,analyzer]] [packages]")
+		fmt.Fprintln(stderr, "usage: domainnetvet [-json] [-list] [-run analyzer[,analyzer]] [packages]")
 		fs.PrintDefaults()
 		fmt.Fprintln(stderr, "\nanalyzers:")
 		for _, a := range lint.All() {
@@ -49,6 +53,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "domainnetvet:", err)
 			return 2
 		}
+	}
+
+	if *listOnly {
+		if err := writeCatalog(stdout, analyzers, *jsonOut); err != nil {
+			fmt.Fprintln(stderr, "domainnetvet:", err)
+			return 2
+		}
+		return 0
 	}
 
 	patterns := fs.Args()
@@ -74,4 +86,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// catalogEntry is one -list -json row.
+type catalogEntry struct {
+	Name            string `json:"name"`
+	Doc             string `json:"doc"`
+	Interprocedural bool   `json:"interprocedural"`
+}
+
+// writeCatalog prints the analyzer catalog, honoring any -run subset.
+func writeCatalog(w io.Writer, analyzers []lint.Analyzer, asJSON bool) error {
+	if asJSON {
+		entries := make([]catalogEntry, 0, len(analyzers))
+		for _, a := range analyzers {
+			entries = append(entries, catalogEntry{
+				Name:            a.Name(),
+				Doc:             a.Doc(),
+				Interprocedural: lint.Interprocedural(a),
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entries)
+	}
+	for _, a := range analyzers {
+		scope := "package"
+		if lint.Interprocedural(a) {
+			scope = "interprocedural"
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %-16s %s\n", a.Name(), scope, a.Doc()); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -74,6 +74,63 @@ func TestJSONFlag(t *testing.T) {
 	}
 }
 
+// TestListCatalog prints the analyzer catalog without loading any packages.
+func TestListCatalog(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"ctxcancel", "lockhold", "lockorder", "goroleak", "errdrop"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list output missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "interprocedural") {
+		t.Fatalf("-list output does not mark interprocedural analyzers:\n%s", out)
+	}
+}
+
+func TestListCatalogJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list", "-json"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, stderr.String())
+	}
+	var entries []struct {
+		Name            string `json:"name"`
+		Doc             string `json:"doc"`
+		Interprocedural bool   `json:"interprocedural"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &entries); err != nil {
+		t.Fatalf("-list -json output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(entries) != 8 {
+		t.Fatalf("catalog has %d entries, want 8: %+v", len(entries), entries)
+	}
+	interp := map[string]bool{}
+	for _, e := range entries {
+		if e.Name == "" || e.Doc == "" {
+			t.Fatalf("catalog entry with empty field: %+v", e)
+		}
+		interp[e.Name] = e.Interprocedural
+	}
+	if !interp["lockorder"] || interp["versionheader"] {
+		t.Fatalf("interprocedural flags wrong: %+v", interp)
+	}
+}
+
+// TestListHonorsRunFilter scopes the catalog like a run would be scoped.
+func TestListHonorsRunFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list", "-run", "lockorder,errdrop"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "lockorder") || !strings.HasPrefix(lines[1], "errdrop") {
+		t.Fatalf("-list -run output wrong:\n%s", stdout.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	chdirModuleRoot(t)
 	var stdout, stderr bytes.Buffer

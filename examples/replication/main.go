@@ -53,7 +53,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer wlog.Close()
+	defer func() {
+		if cerr := wlog.Close(); cerr != nil {
+			log.Printf("replication: closing wal: %v", cerr)
+		}
+	}()
 	ld := repl.NewLeader(wlog)
 	leader := serve.NewWithOptions(datagen.Figure1Lake(), cfg,
 		serve.Options{OnCommit: ld.OnCommit})

@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// This file builds the static call graph the interprocedural analyzers run
+// over. Nodes are keyed by strings — types.Func.FullName for declared
+// functions, a package-qualified position for function literals — because
+// every package is type-checked in its own view and *types.Func pointers do
+// not survive the source-checked/importer-loaded boundary; import paths and
+// names do.
+
+// CallEdge is one call site inside a function.
+type CallEdge struct {
+	Callee string    // node ID of the callee (may name a function outside the repo)
+	Pos    token.Pos // the call expression
+	Spawn  bool      // `go` statement: the callee runs on its own goroutine
+	Defer  bool      // `defer` statement: the callee runs at function exit
+	Iface  bool      // edge added by interface devirtualization
+}
+
+// FuncNode is one function, method, or function literal with a body.
+type FuncNode struct {
+	ID    string
+	Short string // human-readable name for diagnostic chains
+	Pkg   *Package
+	Decl  *ast.FuncDecl // nil for literals
+	Lit   *ast.FuncLit  // nil for declared functions
+	Calls []CallEdge
+
+	edgesByPos map[token.Pos][]*CallEdge
+}
+
+// Body returns the node's statement list.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// EdgesAt returns the call edges recorded for the call expression at pos —
+// one for a direct call, several for a devirtualized interface call.
+func (n *FuncNode) EdgesAt(pos token.Pos) []*CallEdge {
+	if n.edgesByPos == nil {
+		n.edgesByPos = make(map[token.Pos][]*CallEdge)
+		for i := range n.Calls {
+			e := &n.Calls[i]
+			n.edgesByPos[e.Pos] = append(n.edgesByPos[e.Pos], e)
+		}
+	}
+	return n.edgesByPos[pos]
+}
+
+// CallGraph is the whole-repo static call graph.
+type CallGraph struct {
+	Nodes map[string]*FuncNode
+	// sccs holds the strongly connected components of the sequential
+	// (non-spawn) edge relation in bottom-up order: every callee's component
+	// comes before its callers'.
+	sccs [][]*FuncNode
+}
+
+// BottomUp returns the SCCs of the sequential call relation, callees first.
+func (cg *CallGraph) BottomUp() [][]*FuncNode { return cg.sccs }
+
+// pkgTail returns the last element of an import path — the name diagnostics
+// refer to packages by.
+func pkgTail(p string) string { return path.Base(p) }
+
+// shortFuncName compresses a FullName-style ID for diagnostics: package
+// import paths are reduced to their final element, so
+// "(*domainnet/internal/serve.Server).publish" reads "(*serve.Server).publish".
+func shortFuncName(f *types.Func) string {
+	full := f.FullName()
+	if f.Pkg() != nil {
+		full = strings.ReplaceAll(full, f.Pkg().Path()+".", pkgTail(f.Pkg().Path())+".")
+	}
+	return full
+}
+
+type graphBuilder struct {
+	pkgs      []*Package
+	repoPaths map[string]bool
+	cg        *CallGraph
+	// devirt memoizes interface-method devirtualization by a view-independent
+	// key (defining package path, interface name, method name).
+	devirt map[string][]string
+}
+
+// buildCallGraph constructs the graph over all loaded packages.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	b := &graphBuilder{
+		pkgs:      pkgs,
+		repoPaths: make(map[string]bool, len(pkgs)),
+		cg:        &CallGraph{Nodes: make(map[string]*FuncNode)},
+		devirt:    make(map[string][]string),
+	}
+	for _, pkg := range pkgs {
+		b.repoPaths[pkg.Path] = true
+	}
+	// Pass 1: a node per declared function with a body, so devirtualization
+	// and edge targets can resolve forward references.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				f, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if f == nil {
+					continue
+				}
+				b.cg.Nodes[f.FullName()] = &FuncNode{
+					ID:    f.FullName(),
+					Short: shortFuncName(f),
+					Pkg:   pkg,
+					Decl:  fd,
+				}
+			}
+		}
+	}
+	// Pass 2: walk every body, recording edges and discovering literals.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if f, _ := pkg.Info.Defs[fd.Name].(*types.Func); f != nil {
+						b.walk(b.cg.Nodes[f.FullName()])
+					}
+				}
+			}
+		}
+	}
+	b.cg.sccs = condense(b.cg)
+	return b.cg
+}
+
+// litID keys a function literal by its package and position.
+func litID(pkg *Package, lit *ast.FuncLit) string {
+	p := pkg.Fset.Position(lit.Pos())
+	return fmt.Sprintf("%s$%s:%d:%d", pkg.Path, path.Base(p.Filename), p.Line, p.Column)
+}
+
+// walk records n's call edges. Function literals encountered in the body
+// become their own nodes: immediately invoked and deferred literals get a
+// sequential edge (they run on the caller's goroutine under the caller's
+// locks), go-statement literals a spawn edge, and literals that escape as
+// values (assigned, passed, returned) are analyzed as independent roots with
+// no edge — attributing their effects to the enclosing function would claim
+// lock acquisitions that happen on some other call stack.
+func (b *graphBuilder) walk(n *FuncNode) {
+	// litKind classifies literals that are the callee of a call/go/defer the
+	// moment the parent expression is visited, before Inspect descends to
+	// the literal itself.
+	type kind struct{ spawn, deferred bool }
+	litKind := make(map[*ast.FuncLit]kind)
+	callKind := make(map[*ast.CallExpr]kind)
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.GoStmt:
+			callKind[v.Call] = kind{spawn: true}
+		case *ast.DeferStmt:
+			callKind[v.Call] = kind{deferred: true}
+		case *ast.CallExpr:
+			k := callKind[v]
+			if lit, ok := ast.Unparen(v.Fun).(*ast.FuncLit); ok {
+				litKind[lit] = k
+				return true
+			}
+			b.addCallEdges(n, v, k.spawn, k.deferred)
+		case *ast.FuncLit:
+			k, invoked := litKind[v]
+			ln := &FuncNode{
+				ID:    litID(n.Pkg, v),
+				Short: fmt.Sprintf("%s.func@%d", pkgTail(n.Pkg.Path), n.Pkg.Fset.Position(v.Pos()).Line),
+				Pkg:   n.Pkg,
+				Lit:   v,
+			}
+			b.cg.Nodes[ln.ID] = ln
+			if invoked {
+				n.Calls = append(n.Calls, CallEdge{
+					Callee: ln.ID, Pos: v.Pos(), Spawn: k.spawn, Defer: k.deferred,
+				})
+			}
+			b.walk(ln)
+			return false // the literal's own walk covers its body
+		}
+		return true
+	})
+}
+
+// addCallEdges records the edge(s) for one resolved call expression. A call
+// through an interface whose definition lives in this repo is devirtualized
+// one level: an edge per known concrete type implementing it.
+func (b *graphBuilder) addCallEdges(n *FuncNode, call *ast.CallExpr, spawn, deferred bool) {
+	f := calleeFunc(n.Pkg.Info, call)
+	if f == nil {
+		return
+	}
+	if targets := b.devirtualize(f); targets != nil {
+		for _, t := range targets {
+			n.Calls = append(n.Calls, CallEdge{Callee: t, Pos: call.Pos(), Spawn: spawn, Defer: deferred, Iface: true})
+		}
+		return
+	}
+	n.Calls = append(n.Calls, CallEdge{Callee: f.FullName(), Pos: call.Pos(), Spawn: spawn, Defer: deferred})
+}
+
+// devirtualize returns the concrete repo methods a call to interface method f
+// may dispatch to, or nil when f is not a method on a repo-defined interface.
+// Matching is by method-set shape (names and arities) rather than
+// types.Implements: candidate types come from other packages' type-check
+// views, where named types are distinct objects and full identity checks
+// would silently fail.
+func (b *graphBuilder) devirtualize(f *types.Func) []string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named, ok := sig.Recv().Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok || named.Obj().Pkg() == nil || !b.repoPaths[named.Obj().Pkg().Path()] {
+		return nil
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+	if cached, ok := b.devirt[key]; ok {
+		return cached
+	}
+	var targets []string
+	for _, pkg := range b.pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			nt, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := nt.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			m := satisfiesByShape(nt, iface, f.Name())
+			if m == nil {
+				continue
+			}
+			targets = append(targets, m.FullName())
+		}
+	}
+	sort.Strings(targets)
+	b.devirt[key] = targets
+	return targets
+}
+
+// satisfiesByShape reports whether concrete type t carries every method of
+// iface with matching parameter and result counts, returning t's method
+// named method when it does.
+func satisfiesByShape(t *types.Named, iface *types.Interface, method string) *types.Func {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	var hit *types.Func
+	for i := 0; i < iface.NumMethods(); i++ {
+		im := iface.Method(i)
+		sel := ms.Lookup(nil, im.Name())
+		if sel == nil {
+			return nil
+		}
+		tm, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return nil
+		}
+		is, ts := im.Type().(*types.Signature), tm.Type().(*types.Signature)
+		if is.Params().Len() != ts.Params().Len() || is.Results().Len() != ts.Results().Len() {
+			return nil
+		}
+		if im.Name() == method {
+			hit = tm
+		}
+	}
+	return hit
+}
+
+// condense runs Tarjan's SCC algorithm over the sequential edge relation and
+// returns the components in bottom-up (callee-before-caller) order.
+func condense(cg *CallGraph) [][]*FuncNode {
+	ids := make([]string, 0, len(cg.Nodes))
+	for id := range cg.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic traversal order
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]*FuncNode
+	next := 0
+
+	var strongconnect func(id string)
+	strongconnect = func(id string) {
+		index[id] = next
+		low[id] = next
+		next++
+		stack = append(stack, id)
+		onStack[id] = true
+		for _, e := range cg.Nodes[id].Calls {
+			if e.Spawn {
+				continue // spawned work is not on the caller's path
+			}
+			w, ok := cg.Nodes[e.Callee]
+			if !ok {
+				continue
+			}
+			if _, seen := index[w.ID]; !seen {
+				strongconnect(w.ID)
+				if low[w.ID] < low[id] {
+					low[id] = low[w.ID]
+				}
+			} else if onStack[w.ID] && index[w.ID] < low[id] {
+				low[id] = index[w.ID]
+			}
+		}
+		if low[id] == index[id] {
+			var comp []*FuncNode
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, cg.Nodes[top])
+				if top == id {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, id := range ids {
+		if _, seen := index[id]; !seen {
+			strongconnect(id)
+		}
+	}
+	// Tarjan emits components in reverse topological order of the
+	// condensation — exactly callee-before-caller.
+	return sccs
+}

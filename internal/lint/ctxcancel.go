@@ -17,13 +17,20 @@ import (
 // inner per-node BFS loops under a polled per-source loop are fine. Flat
 // loops with no nested loop are exempt — they are O(n) bookkeeping, not
 // traversals. One diagnostic is reported per outermost unpolled traversal.
+//
+// Polling is judged through the function summaries: a loop that delegates
+// its body to a helper which itself polls (directly or deeper) counts as
+// polled — the one-level lexical heuristic this analyzer started as would
+// have flagged that shape falsely.
 type CtxCancel struct{}
 
 func (CtxCancel) Name() string { return "ctxcancel" }
 
 func (CtxCancel) Doc() string {
-	return "functions taking engine.Opts must poll opts.Cancelled() (or delegate to engine.ParallelCtx/ShardSumCtx) inside nested traversal loops"
+	return "functions taking engine.Opts must poll opts.Cancelled() (or delegate to engine.ParallelCtx/ShardSumCtx or a polling helper) inside nested traversal loops"
 }
+
+func (CtxCancel) Interprocedural() bool { return true }
 
 func (CtxCancel) Run(p *Pass) {
 	for _, file := range p.Files {
@@ -85,8 +92,9 @@ func loopBody(n ast.Node) *ast.BlockStmt {
 }
 
 // pollsCancellation reports whether n contains a call that observes
-// cancellation: engine.Opts.Cancelled, the cancellable engine harnesses, or
-// a context.Context's Err/Done.
+// cancellation: engine.Opts.Cancelled, the cancellable engine harnesses, a
+// context.Context's Err/Done, or a repo function whose summary says its own
+// call tree polls (delegation to a cancellable helper).
 func pollsCancellation(p *Pass, n ast.Node) bool {
 	found := false
 	ast.Inspect(n, func(node ast.Node) bool {
@@ -98,12 +106,12 @@ func pollsCancellation(p *Pass, n ast.Node) bool {
 		if f == nil || f.Pkg() == nil {
 			return true
 		}
-		switch {
-		case pathHasTail(f.Pkg().Path(), "internal/engine") &&
-			(f.Name() == "Cancelled" || f.Name() == "ParallelCtx" || f.Name() == "ShardSumCtx"):
+		if pollingCall(f) {
 			found = true
-		case f.Pkg().Path() == "context" && (f.Name() == "Err" || f.Name() == "Done"):
-			found = true
+		} else if p.Prog != nil {
+			if sum, ok := p.Prog.Summaries[f.FullName()]; ok && sum.Polls {
+				found = true
+			}
 		}
 		return !found
 	})

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop enforces the durability-error contract: an error originating in
+// internal/persist, internal/wal, or an fsync may not be discarded. Dropping
+// one turns a failed disk write into silent data loss — the WAL believes a
+// segment is durable that the kernel never flushed. The taint is traced
+// interprocedurally: a function that returns (or wraps with fmt.Errorf) a
+// durability error becomes a source itself, so discarding a wrapper's error
+// two packages away is still a violation. Transport sinks — functions that
+// write to a caller-supplied io.Writer, as a first parameter or wrapped in
+// the receiver (persist.WriteChunked and friends) — are exempt sources:
+// their errors belong to the transport, and the serving layer legitimately
+// drops them once a response is committed.
+type ErrDrop struct{}
+
+func (ErrDrop) Name() string { return "errdrop" }
+
+func (ErrDrop) Doc() string {
+	return "errors originating in persist, wal, or fsync paths may not be discarded via _ or unchecked calls, traced through callees"
+}
+
+func (ErrDrop) Interprocedural() bool { return true }
+
+func (ErrDrop) Run(p *Pass) {
+	// source resolves a callee to a durability origin, consulting the
+	// propagated taint summaries for repo functions.
+	source := func(f *types.Func) (origin string, ok bool) {
+		if f == nil {
+			return "", false
+		}
+		if origin, ok := baseErrSource(f); ok {
+			return origin, true
+		}
+		if p.Prog != nil {
+			if sum, ok := p.Prog.Summaries[f.FullName()]; ok && sum.ErrTainted {
+				return sum.ErrOrigin, true
+			}
+		}
+		return "", false
+	}
+	// sourceCall additionally requires that the call actually produces an
+	// error result to discard.
+	sourceCall := func(call *ast.CallExpr) (f *types.Func, origin string, ok bool) {
+		f = calleeFunc(p.Info, call)
+		if f == nil {
+			return nil, "", false
+		}
+		sig, isSig := f.Type().(*types.Signature)
+		if !isSig || !lastResultIsError(sig) {
+			return nil, "", false
+		}
+		origin, ok = source(f)
+		return f, origin, ok
+	}
+	describe := func(f *types.Func, origin string) string {
+		name := shortFuncName(f)
+		if origin != name {
+			return name + " (error originates in " + origin + ")"
+		}
+		return name
+	}
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(node ast.Node) bool {
+			switch v := node.(type) {
+			case *ast.ExprStmt:
+				if call, ok := v.X.(*ast.CallExpr); ok {
+					if f, origin, ok := sourceCall(call); ok {
+						p.Reportf(call.Pos(), "durability error from %s is discarded; persist/wal/fsync errors must be checked", describe(f, origin))
+					}
+				}
+			case *ast.GoStmt:
+				if f, origin, ok := sourceCall(v.Call); ok {
+					p.Reportf(v.Call.Pos(), "go statement discards the durability error from %s; persist/wal/fsync errors must be checked", describe(f, origin))
+				}
+			case *ast.DeferStmt:
+				if f, origin, ok := sourceCall(v.Call); ok {
+					p.Reportf(v.Call.Pos(), "defer discards the durability error from %s; persist/wal/fsync errors must be checked", describe(f, origin))
+				}
+			case *ast.AssignStmt:
+				reportBlankErrAssigns(p, v, sourceCall, describe)
+			}
+			return true
+		})
+	}
+}
+
+// reportBlankErrAssigns flags `_`-discards of a source call's error result in
+// both assignment shapes: one call expanded across the left-hand side, and
+// 1:1 matched expression lists.
+func reportBlankErrAssigns(p *Pass, as *ast.AssignStmt,
+	sourceCall func(*ast.CallExpr) (*types.Func, string, bool),
+	describe func(*types.Func, string) string) {
+	isBlank := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		f, origin, ok := sourceCall(call)
+		if !ok {
+			return
+		}
+		sig := f.Type().(*types.Signature)
+		errIdx := sig.Results().Len() - 1
+		if errIdx < len(as.Lhs) && isBlank(as.Lhs[errIdx]) {
+			p.Reportf(call.Pos(), "durability error from %s is assigned to _; persist/wal/fsync errors must be checked", describe(f, origin))
+		}
+		return
+	}
+	for i, r := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if f, origin, ok := sourceCall(call); ok {
+			p.Reportf(call.Pos(), "durability error from %s is assigned to _; persist/wal/fsync errors must be checked", describe(f, origin))
+		}
+	}
+}

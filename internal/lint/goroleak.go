@@ -1,0 +1,55 @@
+package lint
+
+import "sort"
+
+// GoroLeak enforces that every `go` statement spawns work with a termination
+// path. A goroutine body whose sequential call tree reaches an unconditional
+// `for {}` with no exit — no return, no break out of it, no cancellation
+// select that leaves, no terminating call — can never finish: it outlives
+// Close, pins its captures, and under churn accumulates one leaked goroutine
+// per spawn. The serve warmer (bounded range loop), the follower's Run
+// (ctx.Err()-conditioned loop), and the router's admission ticker (select
+// with a ctx.Done() return) are the motivating shapes that pass; the check
+// verifies them through summaries, so a loop buried in a helper three calls
+// below the `go` statement is still seen.
+type GoroLeak struct{}
+
+func (GoroLeak) Name() string { return "goroleak" }
+
+func (GoroLeak) Doc() string {
+	return "every go statement must have a termination path: no unconditional for-loop without an exit anywhere in the spawned call tree"
+}
+
+func (GoroLeak) Interprocedural() bool { return true }
+
+// Run is satisfied per the Analyzer interface; GoroLeak does all its work in
+// RunWhole, once over the program.
+func (GoroLeak) Run(p *Pass) {}
+
+func (GoroLeak) RunWhole(p *Pass) {
+	prog := p.Prog
+	ids := make([]string, 0, len(prog.Graph.Nodes))
+	for id := range prog.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := prog.Graph.Nodes[id]
+		for _, e := range n.Calls {
+			if !e.Spawn {
+				continue
+			}
+			sum, ok := prog.Summaries[e.Callee]
+			if !ok || sum.Forever == nil {
+				continue
+			}
+			callee := e.Callee
+			if t, inRepo := prog.Graph.Nodes[e.Callee]; inRepo {
+				callee = t.Short
+			}
+			loopAt := prog.Fset.Position(sum.Forever.Pos)
+			p.Reportf(e.Pos, "goroutine has no termination path: %s reaches an unconditional for-loop with no exit at %s:%d (call path: %s)",
+				callee, loopAt.Filename, loopAt.Line, sum.Forever.ChainString())
+		}
+	}
+}

@@ -44,13 +44,35 @@ type Analyzer interface {
 	Run(p *Pass)
 }
 
-// Pass is one analyzer's view of one loaded package.
+// wholeProgram is implemented by analyzers that run once over the entire
+// loaded program (Pass.Prog) instead of once per package — the shape for
+// global properties like lock-order cycles, where per-package views would
+// each see only half an inversion.
+type wholeProgram interface {
+	Analyzer
+	RunWhole(p *Pass)
+}
+
+// Interprocedural reports whether the analyzer consults the whole-program
+// call graph and summaries, as opposed to single-package syntax alone.
+func Interprocedural(a Analyzer) bool {
+	type marker interface{ Interprocedural() bool }
+	if m, ok := a.(marker); ok {
+		return m.Interprocedural()
+	}
+	return false
+}
+
+// Pass is one analyzer's view of the work: for per-package analyzers the
+// loaded package plus the shared Program; for whole-program analyzers only
+// Fset and Prog are set.
 type Pass struct {
 	Analyzer Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	diags *[]Diagnostic
 }

@@ -3,7 +3,9 @@ package lint_test
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -112,6 +114,108 @@ func TestDecodeNoPanicFixture(t *testing.T) {
 
 func TestAtomicSnapFixture(t *testing.T) {
 	testAnalyzerFixture(t, "atomicsnap", lint.AtomicSnap{})
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	testAnalyzerFixture(t, "lockorder", lint.LockOrder{})
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	testAnalyzerFixture(t, "goroleak", lint.GoroLeak{})
+}
+
+func TestErrDropFixture(t *testing.T) {
+	testAnalyzerFixture(t, "errdrop", lint.ErrDrop{})
+}
+
+// TestSummaryPropagation pins the interprocedural machinery directly: the
+// goroleak fixture's helper() contains no loop, yet its summary must carry
+// the Forever fact inherited from spin() through the bottom-up fixpoint —
+// the property every whole-program analyzer depends on.
+func TestSummaryPropagation(t *testing.T) {
+	pkgs := loadFixture(t, "goroleak")
+	prog := lint.BuildProgram(pkgs)
+	var helper *lint.Summary
+	for id, s := range prog.Summaries {
+		if strings.HasSuffix(id, "goroleak.helper") {
+			helper = s
+		}
+	}
+	if helper == nil {
+		t.Fatal("no summary for goroleak.helper")
+	}
+	if helper.Forever == nil {
+		t.Fatal("helper's summary lacks the Forever fact its callee spin() should have contributed")
+	}
+	if chain := helper.Forever.ChainString(); !strings.Contains(chain, "goroleak.spin") {
+		t.Fatalf("witness chain %q does not name the loop's true location goroleak.spin", chain)
+	}
+}
+
+// TestPragmaSpanFixture is the multi-line-statement regression: the banned
+// call sits two lines below its pragma, inside a statement starting on the
+// line after it. The pragma must suppress the diagnostic (full statement
+// span) without itself going stale (hit tracking sees the suppression).
+func TestPragmaSpanFixture(t *testing.T) {
+	pkgs := loadFixture(t, "pragmaspan")
+	if diags := lint.RunPackages(pkgs, lint.All()); len(diags) != 0 {
+		t.Fatalf("pragma over a multi-line statement leaked diagnostics:\n%v", diags)
+	}
+}
+
+// TestLoadFailures drives the loader through its failure modes: each must
+// surface as a readable error, never a panic or a silent empty load.
+func TestLoadFailures(t *testing.T) {
+	cases := []struct {
+		name     string
+		files    map[string]string // nil: run against the real module root
+		patterns []string
+		wantSub  string
+	}{
+		{
+			name: "syntax error",
+			files: map[string]string{
+				"go.mod":  "module broken\n\ngo 1.24\n",
+				"main.go": "package broken\nfunc f( {\n",
+			},
+			patterns: []string{"./..."},
+			wantSub:  "syntax error",
+		},
+		{
+			name: "type error",
+			files: map[string]string{
+				"go.mod":  "module broken\n\ngo 1.24\n",
+				"main.go": "package broken\nvar x = undefinedIdent\n",
+			},
+			patterns: []string{"./..."},
+			wantSub:  "undefined",
+		},
+		{
+			name:     "pattern matches nothing",
+			patterns: []string{"./does/not/exist"},
+			wantSub:  "does/not/exist",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := moduleRoot(t)
+			if tc.files != nil {
+				dir = t.TempDir()
+				for name, content := range tc.files {
+					if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			pkgs, err := lint.Load(dir, tc.patterns...)
+			if err == nil {
+				t.Fatalf("Load succeeded with %d packages; want an error", len(pkgs))
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
 }
 
 // TestPragmaSuppression runs the full suite over the pragma fixture: the

@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // LockHold enforces the serving write-lock discipline: writeMu serializes
@@ -14,133 +16,117 @@ import (
 // syncs after the data is marshaled), and serve.Checkpoint (it re-acquires
 // writeMu; calling it under the lock is a self-deadlock).
 //
-// Tracking is lexical per statement list: a writeMu.Lock() opens the held
-// region, a top-level writeMu.Unlock() closes it, and a deferred Unlock
-// keeps it open to the end of the enclosing block — the shapes the serving
-// code actually uses. While held, the whole statement subtree (including
-// function literals) is scanned for banned calls.
+// Held-state tracking is the shared lexical lock walker (a Lock() opens the
+// region, a top-level Unlock() closes it, a deferred Unlock holds to the end
+// of the function), extended through the call graph: a banned call is
+// reported even when it is buried in a callee — the function summaries carry
+// the witness chain — and a helper that returns still holding writeMu makes
+// everything after the call a critical section too.
 type LockHold struct{}
 
 func (LockHold) Name() string { return "lockhold" }
 
 func (LockHold) Doc() string {
-	return "no call into net/http, (*os.File).Sync, or serve.Checkpoint while writeMu is held"
+	return "no call into net/http, (*os.File).Sync, or serve.Checkpoint while writeMu is held, traced through callees"
+}
+
+func (LockHold) Interprocedural() bool { return true }
+
+// writeMuHeld reports whether any held class is a writeMu.
+func writeMuHeld(held []string) bool {
+	for _, class := range held {
+		if strings.HasSuffix(class, ".writeMu") || class == "writeMu" {
+			return true
+		}
+	}
+	return false
 }
 
 func (LockHold) Run(p *Pass) {
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				scanHeld(p, fd.Body.List, false)
-			}
+	if p.Prog == nil {
+		return
+	}
+	ids := make([]string, 0, len(p.Prog.Graph.Nodes))
+	for id, n := range p.Prog.Graph.Nodes {
+		if n.Pkg.Pkg == p.Pkg {
+			ids = append(ids, id)
 		}
-		// Function literals get their own lock-state scan: a closure that
-		// takes writeMu itself is a critical section wherever it runs.
-		ast.Inspect(file, func(n ast.Node) bool {
-			if lit, ok := n.(*ast.FuncLit); ok {
-				scanHeld(p, lit.Body.List, false)
-			}
-			return true
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := p.Prog.Graph.Nodes[id]
+		walkLocks(n.Pkg, n.Body(), lockHooks{
+			call: func(call *ast.CallExpr, f *types.Func, held []string, spawn, deferred bool) {
+				if spawn || !writeMuHeld(held) {
+					return
+				}
+				if f != nil {
+					if kind, _, ok := bannedCall(f); ok {
+						reportDirectBanned(p, call, f, kind)
+						return
+					}
+				}
+				// Not banned itself: does its sequential call tree reach a
+				// banned call? The summaries carry the witness chain.
+				for _, e := range n.EdgesAt(call.Pos()) {
+					if e.Spawn {
+						continue
+					}
+					sum, ok := p.Prog.Summaries[e.Callee]
+					if !ok || len(sum.Banned) == 0 {
+						continue
+					}
+					kinds := make([]string, 0, len(sum.Banned))
+					for kind := range sum.Banned {
+						kinds = append(kinds, kind)
+					}
+					sort.Strings(kinds)
+					for _, kind := range kinds {
+						bw := sum.Banned[kind]
+						p.Reportf(call.Pos(), "call while writeMu is held reaches %s (call path: %s); %s",
+							bw.Detail, bw.ChainString(), bannedRationale(kind))
+					}
+				}
+			},
+			calleeHeld: func(call *ast.CallExpr) []string {
+				var out []string
+				for _, e := range n.EdgesAt(call.Pos()) {
+					if e.Spawn || e.Defer {
+						continue
+					}
+					if sum, ok := p.Prog.Summaries[e.Callee]; ok {
+						out = append(out, sum.HeldAtExit...)
+					}
+				}
+				return out
+			},
 		})
 	}
 }
 
-// scanHeld walks one statement list tracking whether writeMu is held.
-// Nested blocks inherit the current state; their internal transitions stay
-// local (a lock taken inside a branch does not leak out — conservative, and
-// exact for the lock/defer-unlock shape the codebase uses).
-func scanHeld(p *Pass, stmts []ast.Stmt, held bool) {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok {
-				if isWriteMuCall(p, call, "Lock") {
-					held = true
-					continue
-				}
-				if isWriteMuCall(p, call, "Unlock") {
-					held = false
-					continue
-				}
-			}
-			if held {
-				reportBannedCalls(p, stmt)
-			}
-		case *ast.DeferStmt:
-			if isWriteMuCall(p, s.Call, "Unlock") {
-				continue // releases at function end; the rest of the block runs held
-			}
-			if held {
-				reportBannedCalls(p, stmt)
-			}
-		case *ast.BlockStmt:
-			scanHeld(p, s.List, held)
-		case *ast.IfStmt:
-			if held {
-				reportBannedCalls(p, s.Cond)
-			}
-			scanHeld(p, s.Body.List, held)
-			if s.Else != nil {
-				scanHeld(p, []ast.Stmt{s.Else}, held)
-			}
-		case *ast.ForStmt:
-			if held && s.Cond != nil {
-				reportBannedCalls(p, s.Cond)
-			}
-			scanHeld(p, s.Body.List, held)
-		case *ast.RangeStmt:
-			if held {
-				reportBannedCalls(p, s.X)
-			}
-			scanHeld(p, s.Body.List, held)
-		default:
-			if held {
-				reportBannedCalls(p, stmt)
-			}
-		}
+// reportDirectBanned keeps the original single-function message shapes.
+func reportDirectBanned(p *Pass, call *ast.CallExpr, f *types.Func, kind string) {
+	switch kind {
+	case "nethttp":
+		p.Reportf(call.Pos(), "%s called while writeMu is held; the write lock must never wait on the network", f.FullName())
+	case "fsync":
+		p.Reportf(call.Pos(), "(*os.File).Sync while writeMu is held; fsync belongs outside the write lock")
+	case "checkpoint":
+		p.Reportf(call.Pos(), "serve.Checkpoint re-acquires writeMu; calling it while the lock is held deadlocks")
 	}
 }
 
-// isWriteMuCall matches x.writeMu.<method>() where writeMu is a sync.Mutex.
-func isWriteMuCall(p *Pass, call *ast.CallExpr, method string) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != method {
-		return false
+// bannedRationale states why each banned-call kind is banned under writeMu.
+func bannedRationale(kind string) string {
+	switch kind {
+	case "nethttp":
+		return "the write lock must never wait on the network"
+	case "fsync":
+		return "fsync belongs outside the write lock"
+	case "checkpoint":
+		return "re-acquiring writeMu under the lock deadlocks"
 	}
-	var name string
-	switch x := ast.Unparen(sel.X).(type) {
-	case *ast.SelectorExpr:
-		name = x.Sel.Name
-	case *ast.Ident:
-		name = x.Name
-	default:
-		return false
-	}
-	tv, ok := p.Info.Types[sel.X]
-	return ok && name == "writeMu" && isNamed(tv.Type, "sync", "Mutex")
-}
-
-// reportBannedCalls flags every banned call in n's subtree.
-func reportBannedCalls(p *Pass, n ast.Node) {
-	ast.Inspect(n, func(node ast.Node) bool {
-		call, ok := node.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		f := calleeFunc(p.Info, call)
-		if f == nil || f.Pkg() == nil {
-			return true
-		}
-		switch {
-		case f.Pkg().Path() == "net/http":
-			p.Reportf(call.Pos(), "%s called while writeMu is held; the write lock must never wait on the network", f.FullName())
-		case f.Name() == "Sync" && recvIs(f, "os", "File"):
-			p.Reportf(call.Pos(), "(*os.File).Sync while writeMu is held; fsync belongs outside the write lock")
-		case f.Name() == "Checkpoint" && recvIs(f, "internal/serve", "Server"):
-			p.Reportf(call.Pos(), "serve.Checkpoint re-acquires writeMu; calling it while the lock is held deadlocks")
-		}
-		return true
-	})
+	return "banned while writeMu is held"
 }
 
 // recvIs reports whether f is a method on (a pointer to) pkgTail.name.

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"strings"
 )
 
@@ -9,71 +10,133 @@ import (
 //
 //	//domainnetvet:ignore <analyzer> <reason>
 //
-// It silences <analyzer> on the pragma's own line and on the line directly
-// below it — wide enough for both end-of-line and line-above placement,
-// narrow enough that a pragma can never blanket a whole file.
+// It silences <analyzer> over the pragma's own line and the statement (or
+// declaration) that starts on the next line — the statement's whole line
+// span, so a diagnostic anchored inside a multi-line call is still covered
+// by the pragma above it. Wide enough for end-of-line and line-above
+// placement, narrow enough that a pragma can never blanket a whole file.
 const pragmaPrefix = "//domainnetvet:ignore"
 
-// pragmaName is the pseudo-analyzer malformed-pragma diagnostics are
-// attributed to; it is a reserved name validated like any other.
+// pragmaName is the pseudo-analyzer malformed- and stale-pragma diagnostics
+// are attributed to; it is a reserved name validated like any other.
 const pragmaName = "pragma"
 
-type suppressKey struct {
+// pragma is one well-formed suppression comment with its resolved line span.
+type pragma struct {
 	file     string
-	line     int
 	analyzer string
+	line     int // the comment's own line
+	end      int // last suppressed line (inclusive)
+	col      int
+	hits     int // diagnostics this pragma actually suppressed
 }
 
 // filterPragmas drops diagnostics covered by well-formed suppression pragmas
-// in pkg's files and appends a diagnostic for every malformed pragma (missing
-// analyzer, unknown analyzer, or missing reason). known is the full shipped
-// analyzer name set — pragmas are validated against it even when a -run
-// filter narrowed this invocation, so a typo never silently suppresses
-// nothing.
-func filterPragmas(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
-	suppressed := make(map[suppressKey]bool)
+// across all loaded packages, appends a diagnostic for every malformed
+// pragma (missing analyzer, unknown analyzer, or missing reason), and
+// reports well-formed pragmas that suppressed nothing — a suppression that
+// has rotted into a no-op should be deleted, not trusted. Staleness is only
+// judged for analyzers in ran: a -run subset that skipped the pragma's
+// analyzer proves nothing. known is the full shipped analyzer name set —
+// pragmas are validated against it even when a -run filter narrowed this
+// invocation, so a typo never silently suppresses nothing.
+func filterPragmas(pkgs []*Package, diags []Diagnostic, known, ran map[string]bool) []Diagnostic {
+	var pragmas []*pragma
 	var out []Diagnostic
-	for _, f := range pkg.Files {
-		for _, group := range f.Comments {
-			for _, c := range group.List {
-				rest, ok := strings.CutPrefix(c.Text, pragmaPrefix)
-				if !ok {
-					continue
-				}
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // some other token, e.g. //domainnetvet:ignoreme
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				bad := func(format string, args ...any) {
-					out = append(out, Diagnostic{
-						File:     pos.Filename,
-						Line:     pos.Line,
-						Col:      pos.Column,
-						Analyzer: pragmaName,
-						Message:  fmt.Sprintf(format, args...),
-					})
-				}
-				switch {
-				case len(fields) == 0:
-					bad("malformed pragma: want %q", pragmaPrefix+" <analyzer> <reason>")
-				case !known[fields[0]]:
-					bad("pragma names unknown analyzer %q", fields[0])
-				case len(fields) < 2:
-					bad("pragma for %q has no reason; suppressions must say why", fields[0])
-				default:
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						suppressed[suppressKey{pos.Filename, line, fields[0]}] = true
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			spans := stmtSpans(pkg, f)
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					rest, ok := strings.CutPrefix(c.Text, pragmaPrefix)
+					if !ok {
+						continue
+					}
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // some other token, e.g. //domainnetvet:ignoreme
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					bad := func(format string, args ...any) {
+						out = append(out, Diagnostic{
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Analyzer: pragmaName,
+							Message:  fmt.Sprintf(format, args...),
+						})
+					}
+					switch {
+					case len(fields) == 0:
+						bad("malformed pragma: want %q", pragmaPrefix+" <analyzer> <reason>")
+					case !known[fields[0]]:
+						bad("pragma names unknown analyzer %q", fields[0])
+					case len(fields) < 2:
+						bad("pragma for %q has no reason; suppressions must say why", fields[0])
+					default:
+						// The span covers the pragma line, the next line, and
+						// the full extent of whichever statement starts on
+						// either — so an end-of-line pragma covers its own
+						// statement and a line-above pragma covers the whole
+						// multi-line statement below it.
+						end := pos.Line + 1
+						if e, ok := spans[pos.Line]; ok && e > end {
+							end = e
+						}
+						if e, ok := spans[pos.Line+1]; ok && e > end {
+							end = e
+						}
+						pragmas = append(pragmas, &pragma{
+							file: pos.Filename, analyzer: fields[0],
+							line: pos.Line, end: end, col: pos.Column,
+						})
 					}
 				}
 			}
 		}
 	}
 	for _, d := range diags {
-		if suppressed[suppressKey{d.File, d.Line, d.Analyzer}] {
-			continue
+		suppressed := false
+		for _, pr := range pragmas {
+			if pr.file == d.File && pr.analyzer == d.Analyzer && pr.line <= d.Line && d.Line <= pr.end {
+				pr.hits++
+				suppressed = true
+			}
 		}
-		out = append(out, d)
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, pr := range pragmas {
+		if pr.hits == 0 && ran[pr.analyzer] {
+			out = append(out, Diagnostic{
+				File:     pr.file,
+				Line:     pr.line,
+				Col:      pr.col,
+				Analyzer: pragmaName,
+				Message: fmt.Sprintf("stale pragma: %q reported no diagnostic on lines %d-%d; delete the suppression",
+					pr.analyzer, pr.line, pr.end),
+			})
+		}
 	}
 	return out
+}
+
+// stmtSpans maps the start line of every statement and declaration in the
+// file to its end line, keeping the smallest span when several nodes start
+// on the same line (the innermost statement, not the block enclosing it).
+func stmtSpans(pkg *Package, f *ast.File) map[int]int {
+	spans := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			start := pkg.Fset.Position(n.Pos()).Line
+			end := pkg.Fset.Position(n.End()).Line
+			if cur, ok := spans[start]; !ok || end < cur {
+				spans[start] = end
+			}
+		}
+		return true
+	})
+	return spans
 }

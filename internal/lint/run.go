@@ -15,6 +15,9 @@ func All() []Analyzer {
 		LockHold{},
 		DecodeNoPanic{},
 		AtomicSnap{},
+		LockOrder{},
+		GoroLeak{},
+		ErrDrop{},
 	}
 }
 
@@ -55,24 +58,40 @@ func Run(dir string, patterns []string, analyzers []Analyzer) ([]Diagnostic, err
 	return RunPackages(pkgs, analyzers), nil
 }
 
-// RunPackages applies analyzers to already-loaded packages.
+// RunPackages applies analyzers to already-loaded packages. The
+// interprocedural state — call graph and summaries — is built once and
+// shared: per-package analyzers consult it through Pass.Prog, whole-program
+// analyzers run a single pass over it.
 func RunPackages(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
-	known := knownNames()
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		var diags []Diagnostic
-		for _, a := range analyzers {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	prog := BuildProgram(pkgs)
+	ran := make(map[string]bool, len(analyzers))
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		ran[a.Name()] = true
+		if wp, ok := a.(wholeProgram); ok {
+			wp.RunWhole(&Pass{Analyzer: a, Fset: prog.Fset, Prog: prog, diags: &diags})
+			continue
+		}
+		for _, pkg := range pkgs {
 			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			})
 		}
-		out = append(out, filterPragmas(pkg, diags, known)...)
 	}
+	// Pragma handling is program-wide: suppression spans are collected from
+	// every package, and staleness is judged against the analyzers that
+	// actually ran.
+	ran[pragmaName] = true
+	out := filterPragmas(pkgs, diags, knownNames(), ran)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {

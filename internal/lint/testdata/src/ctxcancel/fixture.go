@@ -80,6 +80,32 @@ func GoodFlat(n int, opts engine.Opts) []int {
 	return out
 }
 
+// checkCancelled polls directly; shouldStop delegates to it. Callers that
+// gate their traversal on either are covered — the poll is visible only
+// through the propagated function summaries, not lexically.
+func checkCancelled(opts engine.Opts) bool {
+	return opts.Cancelled()
+}
+
+func shouldStop(opts engine.Opts) bool {
+	return checkCancelled(opts)
+}
+
+// GoodHelperDelegated polls through two helper frames; the lexical walk
+// sees only shouldStop, the summaries see the opts.Cancelled() beneath it.
+func GoodHelperDelegated(n int, opts engine.Opts) int {
+	total := 0
+	for s := 0; s < n; s++ {
+		if shouldStop(opts) {
+			return total
+		}
+		for t := 0; t < n; t++ {
+			total += t
+		}
+	}
+	return total
+}
+
 // NoOpts loops all it wants: without an engine.Opts there is no
 // cancellation token to poll.
 func NoOpts(n int) int {

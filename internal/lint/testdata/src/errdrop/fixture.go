@@ -1,0 +1,82 @@
+// Package errdrop seeds discarded durability errors (and sanctioned
+// handling) for the errdrop analyzer. saveVia proves the interprocedural
+// taint: it merely wraps persist.Save, yet discarding its error is still a
+// violation attributed to the true origin.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+
+	"domainnet/internal/lint/testdata/src/errdrop/internal/persist"
+)
+
+// saveVia wraps the durability source; its own error result is tainted.
+func saveVia(path string) error {
+	return persist.Save(path, nil)
+}
+
+// saveWrapped wraps with fmt.Errorf; the taint survives the wrapping.
+func saveWrapped(path string) error {
+	if err := persist.Save(path, nil); err != nil {
+		return fmt.Errorf("errdrop: %w", err)
+	}
+	return nil
+}
+
+// badDirect discards the source's error as a bare statement.
+func badDirect(path string) {
+	persist.Save(path, nil) // want "durability error from persist.Save is discarded"
+}
+
+// badBlank discards it through the blank identifier.
+func badBlank(path string) {
+	_ = persist.Save(path, nil) // want "durability error from persist.Save is assigned to _"
+}
+
+// badWrapper discards a wrapper's error — the origin is two frames down and
+// only the taint summaries can see it.
+func badWrapper(path string) {
+	saveVia(path) // want "error originates in persist.Save"
+}
+
+// badWrapped discards the fmt.Errorf-wrapped flavour.
+func badWrapped(path string) {
+	_ = saveWrapped(path) // want "error originates in persist.Save"
+}
+
+// badDefer discards the error at function exit, where it matters most.
+func badDefer(path string) {
+	defer persist.Save(path, nil) // want "defer discards the durability error from persist.Save"
+}
+
+// badGo launches the save with nobody listening for the result.
+func badGo(path string) {
+	go persist.Save(path, nil) // want "go statement discards the durability error from persist.Save"
+}
+
+// goodChecked handles the error; nothing to report.
+func goodChecked(path string) error {
+	if err := persist.Save(path, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodPropagated returns the wrapper's error to its own caller.
+func goodPropagated(path string) error {
+	return saveVia(path)
+}
+
+// goodTransport drops a transport sink's error: io.Writer first parameter,
+// the error belongs to the writer the caller handed in.
+func goodTransport(data []byte) {
+	var buf bytes.Buffer
+	persist.WriteTo(&buf, data)
+}
+
+// goodEncoder drops a receiver-wrapped transport sink's error.
+func goodEncoder(data []byte) {
+	var buf bytes.Buffer
+	persist.NewEncoder(&buf).Encode(data)
+}

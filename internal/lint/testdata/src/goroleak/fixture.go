@@ -1,0 +1,107 @@
+// Package goroleak seeds goroutines without a termination path (and the
+// sanctioned shapes that have one) for the goroleak analyzer. The
+// helper-buried case is the point: the unconditional loop is two frames
+// below the go statement and visible only through the summaries.
+package goroleak
+
+// spin never returns: an unconditional for with no exit.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// helper buries the non-terminating loop one frame down.
+func helper() {
+	spin()
+}
+
+// badDirect spawns the non-terminating function directly.
+func badDirect() {
+	go spin() // want "goroutine has no termination path"
+}
+
+// badViaHelper spawns a function whose callee loops forever — the loop is
+// invisible lexically and only the propagated summary carries it.
+func badViaHelper() {
+	go helper() // want "goroutine has no termination path"
+}
+
+// badLit spawns a literal that loops forever.
+func badLit() {
+	go func() { // want "goroutine has no termination path"
+		for {
+		}
+	}()
+}
+
+// goodSelect leaves through a cancellation select.
+func goodSelect(done chan struct{}, work chan int) {
+	go func() {
+		total := 0
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				total += v
+			}
+		}
+	}()
+}
+
+// goodConditional loops under a condition; not an unconditional for.
+func goodConditional(stop func() bool) {
+	go func() {
+		for !stop() {
+		}
+	}()
+}
+
+// goodBreak exits the loop with an unlabeled break.
+func goodBreak(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+		}
+	}()
+}
+
+// goodLabeledBreak exits an outer loop from inside a select, the router
+// admission-ticker shape.
+func goodLabeledBreak(done chan struct{}) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-done:
+				break drain
+			default:
+			}
+		}
+	}()
+}
+
+// goodBounded runs a bounded loop and finishes.
+func goodBounded(n int) {
+	go func() {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		_ = total
+	}()
+}
+
+// goodPanic terminates by panicking — panic never returns, so the loop has
+// an exit path (into the runtime, but an exit).
+func goodPanic() {
+	go func() {
+		for {
+			panic("unreachable by design")
+		}
+	}()
+}

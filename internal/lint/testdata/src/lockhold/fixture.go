@@ -79,3 +79,46 @@ func (s *store) badClosureUnderLock(url string) func() {
 		http.Get(url) // want "net/http.Get called while writeMu is held"
 	}
 }
+
+// fetchURL reaches the network; harmless on its own.
+func fetchURL(url string) {
+	resp, err := http.Get(url)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// slowHelper buries the network call one more frame down.
+func slowHelper(url string) {
+	fetchURL(url)
+}
+
+// badTransitiveUnderLock never mentions net/http, but its callee's callee
+// does — only the propagated summaries can see the banned call.
+func (s *store) badTransitiveUnderLock(url string) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	slowHelper(url) // want "call while writeMu is held reaches net/http.Get"
+}
+
+// goodTransitiveOutsideLock calls the same helper after releasing.
+func (s *store) goodTransitiveOutsideLock(url string) {
+	s.writeMu.Lock()
+	s.n++
+	s.writeMu.Unlock()
+	slowHelper(url)
+}
+
+// helperLeavesLocked returns still holding writeMu.
+func (s *store) helperLeavesLocked() {
+	s.writeMu.Lock()
+	s.n++
+}
+
+// badAfterHelperLock: the helper's summary says it exits holding writeMu,
+// so everything after the call is a critical section too.
+func (s *store) badAfterHelperLock(url string) {
+	s.helperLeavesLocked()
+	http.Get(url) // want "net/http.Get called while writeMu is held"
+	s.writeMu.Unlock()
+}

@@ -22,7 +22,7 @@ func suppressedTraversal(n int, opts engine.Opts) int {
 // ctxcancel diagnostic must survive.
 func survivingTraversal(n int, opts engine.Opts) int {
 	total := 0
-	//domainnetvet:ignore atomicsnap wrong analyzer on purpose; ctxcancel stays live
+	//domainnetvet:ignore atomicsnap wrong analyzer on purpose; ctxcancel stays live // want "stale pragma"
 	for i := 0; i < n; i++ { // want "never polls opts.Cancelled"
 		for j := 0; j < n; j++ {
 			total += i * j

@@ -382,8 +382,14 @@ func (l *Log) rotate(start uint64) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		if d, err := os.Open(l.dir); err == nil {
-			d.Sync()
+			serr := d.Sync()
 			d.Close()
+			if serr != nil {
+				// The new segment's directory entry may not survive a crash;
+				// reporting rotate as failed is the only honest option.
+				f.Close()
+				return fmt.Errorf("wal: sync dir: %w", serr)
+			}
 		}
 	}
 	l.segs = append(l.segs, segment{start: start, name: name})
